@@ -1,0 +1,105 @@
+package scg
+
+// Benchmarks for routing quality (solver stretch vs exact shortest paths),
+// steady-state throughput, and star-graph emulation slowdown.
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// BenchmarkRoutingStretch measures solver path quality against exact BFS
+// shortest paths per family at (3,2).
+func BenchmarkRoutingStretch(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func() (*Network, error)
+	}{
+		{"MS", func() (*Network, error) { return NewMacroStar(3, 2) }},
+		{"complete-RS", func() (*Network, error) { return NewCompleteRotationStar(3, 2) }},
+		{"complete-RR", func() (*Network, error) { return NewCompleteRotationRotator(3, 2) }},
+		{"RIS", func() (*Network, error) { return NewRotationIS(3, 2) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			nw, err := c.mk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st *StretchStats
+			for i := 0; i < b.N; i++ {
+				st, err = MeasureRoutingStretch(nw, 10, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(st.MeanStretch, "mean-stretch")
+			b.ReportMetric(st.MaxStretch, "max-stretch")
+		})
+	}
+}
+
+// BenchmarkSaturationThroughput estimates per-node capacity for MS(2,2) and
+// a similar-size hypercube — the simulator-side view of the §4.2 throughput
+// model.
+func BenchmarkSaturationThroughput(b *testing.B) {
+	cases := []struct {
+		name  string
+		build func() (SimTopology, error)
+	}{
+		{"MS(2,2)", func() (SimTopology, error) {
+			nw, err := NewMacroStar(2, 2)
+			if err != nil {
+				return nil, err
+			}
+			return NewSimNetwork(nw)
+		}},
+		{"hypercube(7)", func() (SimTopology, error) { return NewSimHypercube(7) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			topo, err := c.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sat float64
+			for i := 0; i < b.N; i++ {
+				sat, err = SaturationThroughput(topo, 100, AllPort, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sat, "sat-throughput")
+		})
+	}
+}
+
+// BenchmarkStarEmulation measures the emulation slowdowns of §3.3.3/§5:
+// star routes replayed on IS (<= 2x) and MS (<= 3x).
+func BenchmarkStarEmulation(b *testing.B) {
+	rng := perm.NewRNG(7)
+	var isLen, msLen, starLen int
+	for i := 0; i < b.N; i++ {
+		u := perm.Random(7, rng)
+		star, err := SolveStar(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		is, err := EmulateStarOnIS(star)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms, err := EmulateStarOnMS(3, 2, star)
+		if err != nil {
+			b.Fatal(err)
+		}
+		starLen += len(star)
+		isLen += len(is)
+		msLen += len(ms)
+	}
+	if starLen > 0 {
+		b.ReportMetric(float64(isLen)/float64(starLen), "is-slowdown")
+		b.ReportMetric(float64(msLen)/float64(starLen), "ms-slowdown")
+	}
+}

@@ -1,0 +1,193 @@
+// Command experiments regenerates every paper artifact in one run and
+// writes the results to a directory: Figure 4/5/6 tables and ASCII plots,
+// Table 1, the Theorem 4.7 average-distance table, the §4.1 comparison, the
+// exact-diameter growth table, MCMP profiles, simulation summaries, and the
+// Figures 1–3 game traces. It is the repo's one-shot reproduction driver.
+//
+//	experiments -out results -maxk 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bag"
+	"repro/internal/collective"
+	"repro/internal/figures"
+	"repro/internal/gen"
+	"repro/internal/mcmp"
+	"repro/internal/metrics"
+	"repro/internal/perm"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "results", "output directory")
+		maxK = flag.Int("maxk", 7, "largest k for exhaustive measurements")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	write := func(name, content string) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+	}
+
+	// Figures 1-3: game traces.
+	write("fig1-3_games.txt", gameTraces())
+
+	// Figures 4-6 as tables and plots.
+	f4, err := figures.Fig4Degrees()
+	fail(err)
+	write("fig4_degrees.txt", figures.RenderSeries("Figure 4: node degree vs log2(N)", f4)+
+		"\n"+figures.RenderASCII("Figure 4 (plot)", f4, 0, 0, false))
+	f5, err := figures.Fig5Diameters()
+	fail(err)
+	overlay, err := figures.ExactDiameterOverlay(*maxK)
+	fail(err)
+	write("fig5_diameters.txt", figures.RenderSeries("Figure 5: diameter vs log2(N)", f5)+
+		"\n"+figures.RenderSeries("Figure 5 overlay: exact BFS diameters", overlay)+
+		"\n"+figures.RenderASCII("Figure 5 (plot, log y)", f5, 0, 0, true))
+	f6, err := figures.Fig6Cost()
+	fail(err)
+	write("fig6_cost.txt", figures.RenderSeries("Figure 6: degree x diameter vs log2(N)", f6)+
+		"\n"+figures.RenderASCII("Figure 6 (plot, log y)", f6, 0, 0, true))
+
+	// Table 1 and companions.
+	t1, err := figures.Table1(*maxK)
+	fail(err)
+	write("table1_alpha.txt", figures.RenderTable1(t1))
+	avg, err := figures.AvgDistanceTable(3, 2)
+	fail(err)
+	write("thm47_avgdist.txt", figures.RenderAvgDistanceTable(avg))
+	cmp, err := figures.CompareTable(3, 2, *maxK >= 7)
+	fail(err)
+	write("sec41_compare.txt", figures.RenderCompareTable(cmp))
+	growth, err := figures.DiameterGrowthTable(min(*maxK, 9),
+		append(topology.AllSuperCayleyFamilies(), topology.Star, topology.Rotator, topology.IS))
+	fail(err)
+	write("diameter_growth.txt", figures.RenderGrowthTable(growth))
+
+	// MCMP / Theorem 4.8-4.9.
+	write("thm48_49_mcmp.txt", mcmpReport())
+
+	// Communication tasks.
+	write("sec5_communication.txt", commReport())
+}
+
+func gameTraces() string {
+	var b strings.Builder
+	u, _ := perm.Parse("5342671")
+	ly := bag.MustLayout(3, 2)
+	for _, tc := range []struct {
+		title   string
+		nucleus bag.NucleusStyle
+		offset  int
+	}{
+		{"Figure 1: transposition balls + rotating boxes (colors 2,3,1)", bag.TranspositionNucleus, 1},
+		{"Figure 2: insertion balls, same colors", bag.InsertionNucleus, 1},
+		{"Figure 3: insertion balls, best color assignment", bag.InsertionNucleus, -1},
+	} {
+		rules := bag.Rules{Layout: ly, Nucleus: tc.nucleus, Super: bag.RotCompleteSuper}
+		var moves []gen.Generator
+		var err error
+		if tc.offset >= 0 {
+			moves, err = bag.SolveWithOffset(rules, u, tc.offset)
+		} else {
+			moves, err = bag.Solve(rules, u)
+		}
+		if err != nil {
+			fmt.Fprintf(&b, "%s\n  error: %v\n\n", tc.title, err)
+			continue
+		}
+		fmt.Fprintf(&b, "%s\n", tc.title)
+		cfg := u.Clone()
+		fmt.Fprintf(&b, "  start  %s\n", bag.FormatBoxes(ly, cfg))
+		for _, mv := range moves {
+			mv.Apply(cfg)
+			fmt.Fprintf(&b, "  %-5s  %s\n", mv.Name(), bag.FormatBoxes(ly, cfg))
+		}
+		fmt.Fprintf(&b, "  solution (%d moves): %v\n\n", len(moves), bag.MoveNames(moves))
+	}
+	return b.String()
+}
+
+func mcmpReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MCMP intercluster profiles at (3,2), w = 1 (Theorems 4.8-4.9)\n")
+	fmt.Fprintf(&b, "%-18s %3s %5s %8s %9s %10s\n", "network", "d_i", "M", "D_inter", "avg_int", "BB bound")
+	for _, fam := range topology.AllSuperCayleyFamilies() {
+		nw, err := topology.New(fam, 3, 2)
+		if err != nil {
+			continue
+		}
+		prof, err := mcmp.Measure(nw.Graph(), 1)
+		if err != nil {
+			continue
+		}
+		bb, err := metrics.BisectionLowerBound(1, float64(nw.Nodes()), prof.AvgInterclusterDistance)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-18s %3d %5d %8d %9.3f %10.1f\n",
+			nw.Name(), prof.InterclusterDegree, prof.ClusterSize,
+			prof.InterclusterDiameter, prof.AvgInterclusterDistance, bb)
+	}
+	return b.String()
+}
+
+func commReport() string {
+	var b strings.Builder
+	nw, err := topology.NewMS(2, 2)
+	if err != nil {
+		return err.Error()
+	}
+	topo, err := sim.NewPermTopology(nw)
+	if err != nil {
+		return err.Error()
+	}
+	fmt.Fprintf(&b, "Communication tasks on %s (N=%d)\n\n", nw.Name(), nw.Nodes())
+	for _, model := range []sim.PortModel{sim.AllPort, sim.SinglePort} {
+		flood, err := sim.RunBroadcast(topo, model, 0)
+		if err != nil {
+			return err.Error()
+		}
+		tree, err := collective.SimulateTreeMNB(nw.Graph(), model, 0)
+		if err != nil {
+			return err.Error()
+		}
+		lb := sim.MNBLowerBound(nw.Nodes(), nw.Degree(), model)
+		fmt.Fprintf(&b, "MNB %-11s: lower bound %d, tree %d steps (%d hops, gini %.3f), flood %d steps (%d hops)\n",
+			model, lb, tree.Steps, tree.TotalHops, tree.LoadGini, flood.Steps, flood.TotalHops)
+	}
+	te, err := sim.RunUnicast(topo, sim.TotalExchange(nw.Nodes()), sim.AllPort, 0)
+	if err != nil {
+		return err.Error()
+	}
+	fmt.Fprintf(&b, "TE all-port: %s (load gini %.3f)\n", te, te.LoadGini)
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

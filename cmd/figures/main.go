@@ -1,0 +1,90 @@
+// Command figures regenerates the paper's evaluation artifacts as text
+// tables: Figure 4 (degree), Figure 5 (diameter), Figure 6 (degree ×
+// diameter), and Table 1 (α ratios), optionally with exact BFS overlays.
+//
+// Examples:
+//
+//	figures -artifact all
+//	figures -artifact fig5 -exact -maxk 9
+//	figures -artifact table1 -maxk 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	var (
+		artifact = flag.String("artifact", "all", "fig4 | fig5 | fig6 | table1 | avgdist | compare | all")
+		exact    = flag.Bool("exact", false, "overlay exact BFS diameters (fig5)")
+		plot     = flag.Bool("plot", false, "draw ASCII scatter plots instead of tables (fig4/fig5/fig6)")
+		maxK     = flag.Int("maxk", 7, "largest k for exact measurements (BFS over k! states)")
+	)
+	flag.Parse()
+
+	run := func(name string) {
+		switch name {
+		case "fig4":
+			s, err := figures.Fig4Degrees()
+			fail(err)
+			if *plot {
+				fmt.Println(figures.RenderASCII("Figure 4: node degree vs log2(N)", s, 0, 0, false))
+			} else {
+				fmt.Println(figures.RenderSeries("Figure 4: node degree vs log2(N)", s))
+			}
+		case "fig5":
+			s, err := figures.Fig5Diameters()
+			fail(err)
+			if *plot {
+				fmt.Println(figures.RenderASCII("Figure 5: diameter vs log2(N) (routing-bound curves)", s, 0, 0, true))
+			} else {
+				fmt.Println(figures.RenderSeries("Figure 5: diameter vs log2(N) (routing-bound curves)", s))
+			}
+			if *exact {
+				e, err := figures.ExactDiameterOverlay(*maxK)
+				fail(err)
+				fmt.Println(figures.RenderSeries("Figure 5 overlay: exact BFS diameters", e))
+			}
+		case "fig6":
+			s, err := figures.Fig6Cost()
+			fail(err)
+			if *plot {
+				fmt.Println(figures.RenderASCII("Figure 6: degree x diameter vs log2(N)", s, 0, 0, true))
+			} else {
+				fmt.Println(figures.RenderSeries("Figure 6: degree x diameter vs log2(N)", s))
+			}
+		case "table1":
+			rows, err := figures.Table1(*maxK)
+			fail(err)
+			fmt.Println(figures.RenderTable1(rows))
+		case "avgdist":
+			rows, err := figures.AvgDistanceTable(3, 2)
+			fail(err)
+			fmt.Println(figures.RenderAvgDistanceTable(rows))
+		case "compare":
+			rows, err := figures.CompareTable(3, 2, *maxK >= 7)
+			fail(err)
+			fmt.Println(figures.RenderCompareTable(rows))
+		default:
+			fail(fmt.Errorf("unknown artifact %q", name))
+		}
+	}
+	if *artifact == "all" {
+		for _, a := range []string{"fig4", "fig5", "fig6", "table1", "avgdist", "compare"} {
+			run(a)
+		}
+		return
+	}
+	run(*artifact)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

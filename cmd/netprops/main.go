@@ -1,0 +1,117 @@
+// Command netprops builds a network instance and reports its topological
+// properties: degree, size, diameter bounds, exact diameter and average
+// distance (BFS, when enumerable), α ratios, and the MCMP intercluster
+// profile of §4.3.
+//
+// Examples:
+//
+//	netprops -family MS -l 3 -n 2 -exact -mcmp
+//	netprops -family complete-RIS -l 4 -n 3
+//	netprops -family star -k 9 -exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mcmp"
+	"repro/internal/metrics"
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "MS", "family: star | rotator | pancake | bubble-sort | transposition | IS | MS | RS | complete-RS | MR | RR | complete-RR | MIS | RIS | complete-RIS")
+		l       = flag.Int("l", 3, "number of super-symbols (super Cayley families)")
+		n       = flag.Int("n", 2, "super-symbol length (or k-1 for nucleus-only families)")
+		k       = flag.Int("k", 0, "dimension for nucleus-only families (overrides -n)")
+		exact   = flag.Bool("exact", false, "measure exact diameter and average distance by BFS")
+		doMCMP  = flag.Bool("mcmp", false, "measure the MCMP intercluster profile (super Cayley families)")
+		w       = flag.Float64("w", 1.0, "per-node off-chip bandwidth for the MCMP model")
+		stretch = flag.Int("stretch", 0, "sample this many pairs and compare solver routes to exact shortest paths")
+		dot     = flag.Bool("dot", false, "write the graph in Graphviz DOT format to stdout and exit")
+	)
+	flag.Parse()
+
+	fam, err := familyByName(*family)
+	fail(err)
+	nn := *n
+	if *k > 0 {
+		nn = *k - 1
+	}
+	nw, err := topology.New(fam, *l, nn)
+	fail(err)
+
+	if *dot {
+		fail(nw.Graph().WriteDOT(os.Stdout, 0))
+		return
+	}
+
+	fmt.Println(nw)
+	fmt.Printf("degree:              %d\n", nw.Degree())
+	fmt.Printf("intercluster degree: %d\n", nw.InterclusterDegree())
+	fmt.Printf("diameter bound:      %d (this repo's routing algorithm)\n", nw.DiameterUpperBound())
+	if pb, ok := topology.PaperDiameterBound(nw.Family(), nw.L(), nw.N()); ok {
+		fmt.Printf("paper bound:         %d\n", pb)
+	}
+	if dl, err := metrics.DL(float64(nw.Nodes()), nw.Degree()); err == nil {
+		fmt.Printf("universal D_L(N,d):  %.3f\n", dl)
+	}
+
+	if *exact {
+		d, err := nw.Graph().Diameter()
+		fail(err)
+		avg, err := nw.Graph().AverageDistance()
+		fail(err)
+		fmt.Printf("exact diameter:      %d\n", d)
+		fmt.Printf("exact avg distance:  %.4f\n", avg)
+		if a, err := metrics.Alpha(d, float64(nw.Nodes()), nw.Degree()); err == nil {
+			fmt.Printf("alpha (D/D_L):       %.4f\n", a)
+		}
+		if lb, err := metrics.AvgDistanceLowerBound(float64(nw.Nodes()), nw.Degree()); err == nil {
+			fmt.Printf("alpha-avg:           %.4f\n", avg/lb)
+		}
+	}
+
+	if *stretch > 0 {
+		st, err := nw.Graph().MeasureStretch(*stretch, 1, func(src, dst perm.Perm) (int, error) {
+			return nw.RouteLen(src, dst)
+		})
+		fail(err)
+		fmt.Printf("routing stretch:     mean %.3f, max %.3f, optimal %d/%d pairs\n",
+			st.MeanStretch, st.MaxStretch, st.Optimal, st.Pairs)
+	}
+
+	if *doMCMP {
+		prof, err := mcmp.Measure(nw.Graph(), *w)
+		fail(err)
+		fmt.Printf("cluster size M:      %d\n", prof.ClusterSize)
+		fmt.Printf("intercluster diam:   %d\n", prof.InterclusterDiameter)
+		fmt.Printf("intercluster avg:    %.4f\n", prof.AvgInterclusterDistance)
+		fmt.Printf("off-chip link bw:    %.4f (w=%.2f)\n", prof.LinkBandwidth, *w)
+		bb, err := metrics.BisectionLowerBound(*w, float64(nw.Nodes()), prof.AvgInterclusterDistance)
+		fail(err)
+		fmt.Printf("bisection BB >=      %.1f (Theorem 4.9)\n", bb)
+	}
+}
+
+func familyByName(name string) (topology.Family, error) {
+	all := append(topology.AllSuperCayleyFamilies(),
+		topology.Star, topology.Rotator, topology.Pancake,
+		topology.BubbleSort, topology.TranspositionNet, topology.IS)
+	for _, f := range all {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown family %q", name)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netprops:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// Command simbench runs the packet-level simulator on a chosen network and
+// communication task: multinode broadcast (MNB), total exchange (TE), random
+// routing, or permutation routing, under the single-port or all-port model.
+//
+// Examples:
+//
+//	simbench -family MS -l 2 -n 2 -task mnb -model all
+//	simbench -family complete-RS -l 3 -n 2 -task random -count 5040
+//	simbench -baseline hypercube -dim 7 -task te
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "MS", "permutation network family")
+		l        = flag.Int("l", 2, "super-symbol count")
+		n        = flag.Int("n", 2, "super-symbol length (k-1 for nucleus-only families)")
+		baseline = flag.String("baseline", "", "use a baseline instead: hypercube | torus2d | torus3d")
+		dim      = flag.Int("dim", 7, "baseline dimension (hypercube d, torus radix)")
+		task     = flag.String("task", "mnb", "mnb | te | random | perm | openloop")
+		model    = flag.String("model", "all", "all | single")
+		count    = flag.Int("count", 1000, "packet count for -task random")
+		rate     = flag.Float64("rate", 0.1, "injection rate for -task openloop (packets/node/step)")
+		steps    = flag.Int("steps", 300, "horizon for -task openloop")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	topo, err := buildTopology(*baseline, *dim, *family, *l, *n)
+	fail(err)
+	pm := sim.AllPort
+	if *model == "single" {
+		pm = sim.SinglePort
+	}
+
+	fmt.Printf("network: %s (N=%d, degree %d)\n", topo.Name(), topo.NumNodes(), topo.Degree())
+	fmt.Printf("task:    %s, %s model\n", *task, pm)
+
+	var res *sim.Result
+	switch *task {
+	case "mnb":
+		res, err = sim.RunBroadcast(topo, pm, 0)
+		if err == nil {
+			fmt.Printf("MNB lower bound: %d steps\n", sim.MNBLowerBound(topo.NumNodes(), topo.Degree(), pm))
+		}
+	case "te":
+		res, err = sim.RunUnicast(topo, sim.TotalExchange(topo.NumNodes()), pm, 0)
+	case "random":
+		res, err = sim.RunUnicast(topo, sim.RandomRouting(topo.NumNodes(), *count, *seed), pm, 0)
+	case "perm":
+		res, err = sim.RunUnicast(topo, sim.PermutationRouting(topo.NumNodes(), *seed), pm, 0)
+	case "openloop":
+		ol, olErr := sim.RunOpenLoop(topo, *rate, *steps, pm, *seed)
+		fail(olErr)
+		fmt.Printf("result:  %s\n", ol)
+		return
+	default:
+		err = fmt.Errorf("unknown task %q", *task)
+	}
+	fail(err)
+	fmt.Printf("result:  %s\n", res)
+	if res.AvgLinkLoad > 0 {
+		fmt.Printf("balance: max/avg link load = %.3f\n", float64(res.MaxLinkLoad)/res.AvgLinkLoad)
+	}
+}
+
+func buildTopology(baseline string, dim int, family string, l, n int) (sim.Topology, error) {
+	switch baseline {
+	case "hypercube":
+		return sim.NewHypercubeTopology(dim)
+	case "torus2d":
+		return sim.NewTorusTopology(dim, 2)
+	case "torus3d":
+		return sim.NewTorusTopology(dim, 3)
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown baseline %q", baseline)
+	}
+	all := append(topology.AllSuperCayleyFamilies(),
+		topology.Star, topology.Rotator, topology.IS)
+	for _, f := range all {
+		if f.String() == family {
+			nw, err := topology.New(f, l, n)
+			if err != nil {
+				return nil, err
+			}
+			return sim.NewPermTopology(nw)
+		}
+	}
+	return nil, fmt.Errorf("unknown family %q", family)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+package scg_test
+
+import (
+	"fmt"
+	"log"
+
+	scg "repro"
+)
+
+// Building a macro-star network and routing between two nodes by solving
+// the Balls-to-Boxes game.
+func Example() {
+	nw, err := scg.NewMacroStar(3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, _ := scg.ParseNode("5342671")
+	dst := scg.IdentityNode(nw.K())
+	moves, err := nw.Route(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(nw.Name(), "routes", src, "->", dst, "in", len(moves), "hops")
+	// Output:
+	// MS(3,2) routes 5342671 -> 1234567 in 15 hops
+}
+
+// Solving a ball-arrangement game directly: the Figure 2 instance with
+// insertion moves and rotating boxes.
+func ExampleSolve() {
+	rules, err := scg.NewGame(3, 2, scg.InsertionBalls, scg.RotateBoxesAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, _ := scg.ParseNode("5342671")
+	moves, err := scg.Solve(rules, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(scg.MoveNames(moves))
+	// Output:
+	// [I3 R1 I3 R1 I3 R2 I2]
+}
+
+// Exact measurement of a network by exhaustive BFS.
+func ExampleNetwork_measure() {
+	nw, err := scg.NewCompleteRotationStar(3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := nw.Graph().Diameter()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: N=%d degree=%d exact diameter=%d\n", nw.Name(), nw.Nodes(), nw.Degree(), d)
+	// Output:
+	// complete-RS(3,2): N=5040 degree=4 exact diameter=15
+}
+
+// The universal diameter lower bound of equation 2 and the alpha ratio.
+func ExampleAlphaRatio() {
+	alpha, err := scg.AlphaRatio(13, 5040, 4) // MS(3,2): exact diameter 13
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alpha = %.3f\n", alpha)
+	// Output:
+	// alpha = 1.824
+}
+
+// Rendering a configuration as the paper's figures draw it.
+func ExampleFormatBoxes() {
+	rules, _ := scg.NewGame(3, 2, scg.TranspositionBalls, scg.SwapBoxes)
+	u, _ := scg.ParseNode("5342671")
+	fmt.Println(scg.FormatBoxes(rules, u))
+	// Output:
+	// 5 [34][26][71]
+}
+
+// The star -> IS embedding of §3.3.3.
+func ExampleMeasureStarIntoIS() {
+	rep, err := scg.MeasureStarIntoIS(6, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dilation %d congestion %d\n", rep.Dilation, rep.Congestion)
+	// Output:
+	// dilation 2 congestion 1
+}

@@ -1,0 +1,51 @@
+// Embedding demonstrates the §3.3.3 embedding results: the star graph
+// embeds into the insertion-selection network of the same size with
+// congestion 1 and dilation 2, so IS networks emulate star-graph algorithms
+// with slowdown at most 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	scg "repro"
+)
+
+func main() {
+	// Measure the embedding exhaustively for k = 5 and 6.
+	for _, k := range []int{5, 6} {
+		rep, err := scg.MeasureStarIntoIS(k, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("star(%d) -> IS(%d): dilation %d, congestion %d, avg path %.3f\n",
+			k, k, rep.Dilation, rep.Congestion, rep.AvgPathLen)
+	}
+
+	// Emulate a star-graph routing on the IS network.
+	k := 7
+	src := scg.RandomNode(k, 2026)
+	dst := scg.IdentityNode(k)
+	starNw, err := scg.NewStarGraph(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	starMoves, err := starNw.Route(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	isMoves, err := scg.EmulateStarOnIS(starMoves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	isNw, err := scg.NewISNetwork(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := isNw.VerifyRoute(src, dst, isMoves); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstar route %v -> %v: %d hops: %v\n", src, dst, len(starMoves), scg.MoveNames(starMoves))
+	fmt.Printf("IS emulation:             %d hops: %v\n", len(isMoves), scg.MoveNames(isMoves))
+	fmt.Printf("slowdown %.2f (paper bound: 2.00)\n", float64(len(isMoves))/float64(len(starMoves)))
+}

@@ -1,0 +1,73 @@
+// Indexperm demonstrates super-index-permutation graphs (§4.3): the
+// Balls-to-Boxes game with indistinguishable same-color balls. The state
+// graph is a Schreier quotient of the macro-star network — far fewer nodes
+// for the same physical structure — and its intercluster diameter sits
+// closer to the packing lower bound, which is how the paper reaches optimal
+// intercluster metrics with larger clusters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	scg "repro"
+)
+
+func main() {
+	const l, n = 3, 2
+	g, err := scg.NewSIP(l, n, scg.TranspositionBalls, scg.SwapBoxes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	order, err := g.Order()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := scg.NewMacroStar(l, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d states (the Cayley cover %s has %d)\n",
+		g.Name(), order, ms.Name(), ms.Nodes())
+
+	// Solve one instance: same moves vocabulary, fewer constraints.
+	rules, err := scg.NewGame(l, n, scg.TranspositionBalls, scg.SwapBoxes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := scg.IPLabel{2, 4, 1, 3, 2, 1, 3} // outside ball 2; 4 is the color-0 ball
+	moves, err := scg.SolveSIP(rules, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := scg.VerifySIP(rules, u, moves); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solve %v -> %v: %d moves: %v\n", u, scg.SIPGoal(l, n), len(moves), scg.MoveNames(moves))
+
+	// Exact diameters: quotient vs cover.
+	dq, err := g.Diameter()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dc, err := ms.Graph().Diameter()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact diameter: SIP %d vs MS %d\n", dq, dc)
+
+	// Intercluster comparison (the §4.3 point).
+	sip, err := g.MeasureIntercluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	msProf, err := scg.MeasureMCMP(ms, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("intercluster: SIP M=%d D_inter=%d avg=%.3f | MS M=%d D_inter=%d avg=%.3f\n",
+		sip.ClusterSize, sip.InterclusterDiameter, sip.AvgInterclusterDistance,
+		msProf.ClusterSize, msProf.InterclusterDiameter, msProf.AvgInterclusterDistance)
+	fmt.Println("\nSame chips, same wires - but the quotient needs only 630 logical states")
+	fmt.Println("instead of 5040, and its intercluster diameter is nearer its lower bound.")
+}

@@ -1,0 +1,140 @@
+package bag
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+)
+
+// SuperStyle selects how boxes may be moved — the "second type" of
+// permissible actions (§2.2). Each style corresponds to a different family
+// of super generators and therefore to a different super Cayley graph class.
+type SuperStyle int
+
+const (
+	// SwapSuper moves the leftmost box by interchanging it with an arbitrary
+	// box (swap generators S_2..S_l); used by MS, MR, and MIS networks.
+	SwapSuper SuperStyle = iota
+	// RotSingleSuper rotates the boxes one position per step using only R
+	// (= R^1); used by RR networks.
+	RotSingleSuper
+	// RotPairSuper rotates one position per step in either direction using
+	// R and R^{-1}; used by RS and RIS networks.
+	RotPairSuper
+	// RotCompleteSuper rotates by any number of positions in one step using
+	// the complete set R^1..R^{l-1}; used by complete-RS, complete-RR, and
+	// complete-RIS networks.
+	RotCompleteSuper
+	// NoSuper forbids box moves entirely; only valid when l = 1 (star, IS,
+	// and rotator nuclei).
+	NoSuper
+)
+
+func (s SuperStyle) String() string {
+	switch s {
+	case SwapSuper:
+		return "swap"
+	case RotSingleSuper:
+		return "rot-single"
+	case RotPairSuper:
+		return "rot-pair"
+	case RotCompleteSuper:
+		return "rot-complete"
+	case NoSuper:
+		return "none"
+	default:
+		return fmt.Sprintf("SuperStyle(%d)", int(s))
+	}
+}
+
+// NucleusStyle selects how balls move between the outside slot and the
+// leftmost box — the "first type" of permissible actions.
+type NucleusStyle int
+
+const (
+	// TranspositionNucleus exchanges the outside ball with a ball of the
+	// leftmost box (generators T_2..T_{n+1}); used by star, MS, RS,
+	// complete-RS.
+	TranspositionNucleus NucleusStyle = iota
+	// InsertionNucleus inserts the outside ball at a chosen position of the
+	// leftmost box, ejecting the box's leftmost ball (generators
+	// I_2..I_{n+1}, §2.3); used by MR, RR, complete-RR, IS, MIS, RIS,
+	// complete-RIS. (Selection generators, when present, make the graph
+	// undirected but are not needed by the solver's upper-bound path.)
+	InsertionNucleus
+)
+
+func (s NucleusStyle) String() string {
+	switch s {
+	case TranspositionNucleus:
+		return "transposition"
+	case InsertionNucleus:
+		return "insertion"
+	default:
+		return fmt.Sprintf("NucleusStyle(%d)", int(s))
+	}
+}
+
+// Rules fixes a ball-arrangement game variant: the box layout plus the
+// permissible nucleus and super moves.
+type Rules struct {
+	Layout  Layout
+	Nucleus NucleusStyle
+	Super   SuperStyle
+}
+
+// Validate reports whether the rules are self-consistent.
+func (r Rules) Validate() error {
+	if r.Layout.L < 1 || r.Layout.N < 1 {
+		return fmt.Errorf("bag: invalid layout %+v", r.Layout)
+	}
+	if r.Layout.L == 1 && r.Super != NoSuper {
+		return fmt.Errorf("bag: l = 1 requires NoSuper, got %v", r.Super)
+	}
+	if r.Layout.L > 1 && r.Super == NoSuper {
+		return fmt.Errorf("bag: l = %d > 1 requires a super style", r.Layout.L)
+	}
+	return nil
+}
+
+// Generators returns the permissible moves of the game as generators, i.e.
+// the generator set of the derived super Cayley graph, without the inverse
+// (selection / reverse-rotation) closure that some undirected variants add.
+func (r Rules) Generators() []gen.Generator {
+	ly := r.Layout
+	var gs []gen.Generator
+	switch r.Nucleus {
+	case TranspositionNucleus:
+		for i := 2; i <= ly.N+1; i++ {
+			gs = append(gs, gen.NewTransposition(i))
+		}
+	case InsertionNucleus:
+		for i := 2; i <= ly.N+1; i++ {
+			gs = append(gs, gen.NewInsertion(i))
+		}
+	}
+	switch r.Super {
+	case SwapSuper:
+		for i := 2; i <= ly.L; i++ {
+			gs = append(gs, gen.NewSwap(i, ly.N))
+		}
+	case RotSingleSuper:
+		gs = append(gs, gen.NewRotation(1, ly.N))
+	case RotPairSuper:
+		gs = append(gs, gen.NewRotation(1, ly.N))
+		if ly.L > 2 {
+			// For l = 2, R = R^{-1}: the pair collapses to a single generator.
+			gs = append(gs, gen.NewRotation(ly.L-1, ly.N))
+		}
+	case RotCompleteSuper:
+		for i := 1; i <= ly.L-1; i++ {
+			gs = append(gs, gen.NewRotation(i, ly.N))
+		}
+	case NoSuper:
+	}
+	return gs
+}
+
+func (r Rules) String() string {
+	return fmt.Sprintf("Rules(%s, nucleus=%s, super=%s)", r.Layout, r.Nucleus, r.Super)
+}

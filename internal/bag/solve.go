@@ -1,0 +1,205 @@
+package bag
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/perm"
+)
+
+// SolveWithOffset solves the game defined by rules from configuration u to
+// the identity configuration, assigning the box at initial slot j the color
+// ((j-1+offset) mod l) + 1. The returned moves, applied to u in order,
+// produce the identity permutation.
+//
+// The offset is the paper's color-assignment freedom (§2.2, Figures 1–3):
+// rotation-style games require a cyclic color assignment, and the choice of
+// offset can change the solution length considerably (Fig. 2 vs. Fig. 3).
+// For swap-style and single-box games the offset must be 0.
+func SolveWithOffset(rules Rules, u perm.Perm, offset int) ([]gen.Generator, error) {
+	if err := rules.Validate(); err != nil {
+		return nil, err
+	}
+	if len(u) != rules.Layout.K() {
+		return nil, fmt.Errorf("bag: Solve: configuration has %d balls, layout wants %d", len(u), rules.Layout.K())
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	rotational := rules.Super == RotSingleSuper || rules.Super == RotPairSuper || rules.Super == RotCompleteSuper
+	if offset != 0 && !rotational {
+		return nil, fmt.Errorf("bag: Solve: offset %d requires a rotation super style", offset)
+	}
+	if offset < 0 || (rotational && offset >= rules.Layout.L) {
+		return nil, fmt.Errorf("bag: Solve: offset %d out of range 0..%d", offset, rules.Layout.L-1)
+	}
+	s := newState(rules, u, offset)
+	switch rules.Nucleus {
+	case TranspositionNucleus:
+		s.solveTransposition()
+	case InsertionNucleus:
+		s.solveInsertion()
+	default:
+		return nil, fmt.Errorf("bag: Solve: unknown nucleus style %v", rules.Nucleus)
+	}
+	if !s.cfg.IsIdentity() {
+		return nil, fmt.Errorf("bag: Solve: internal error: final configuration %v is not the identity", s.cfg)
+	}
+	return s.moves, nil
+}
+
+// Solve solves the game from configuration u, searching all cyclic color
+// assignments for rotation-style games and returning the shortest solution
+// found. Swap-style and single-box games have a single canonical assignment.
+func Solve(rules Rules, u perm.Perm) ([]gen.Generator, error) {
+	rotational := rules.Super == RotSingleSuper || rules.Super == RotPairSuper || rules.Super == RotCompleteSuper
+	if !rotational {
+		return SolveWithOffset(rules, u, 0)
+	}
+	var best []gen.Generator
+	found := false
+	for b := 0; b < rules.Layout.L; b++ {
+		moves, err := SolveWithOffset(rules, u, b)
+		if err != nil {
+			return nil, err
+		}
+		if !found || len(moves) < len(best) {
+			best, found = moves, true
+		}
+	}
+	return best, nil
+}
+
+// SolveStar solves the ball-arrangement game behind the k-star graph
+// (Akers, Harel & Krishnamurthy): at each step the leftmost ball may be
+// exchanged with an arbitrary ball, i.e. generators T_2..T_k. The solution
+// has at most ⌊3(k-1)/2⌋ moves.
+func SolveStar(u perm.Perm) ([]gen.Generator, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := u.Clone()
+	k := len(cfg)
+	var moves []gen.Generator
+	apply := func(i int) {
+		g := gen.NewTransposition(i)
+		g.Apply(cfg)
+		moves = append(moves, g)
+	}
+	for !cfg.IsIdentity() {
+		if x := cfg[0]; x != 1 {
+			apply(x) // send the leftmost ball home, ejecting the occupant
+		} else {
+			for i := 2; i <= k; i++ {
+				if cfg[i-1] != i {
+					apply(i) // pull any misplaced ball to the front
+					break
+				}
+			}
+		}
+	}
+	return moves, nil
+}
+
+// SolveRotator solves the game behind the k-rotator graph (Corbett):
+// generators I_2..I_k over all k symbols. It reuses the one-box insertion
+// algorithm of §2.3.
+func SolveRotator(u perm.Perm) ([]gen.Generator, error) {
+	if len(u) < 2 {
+		if err := u.Validate(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	rules := Rules{Layout: MustLayout(1, len(u)-1), Nucleus: InsertionNucleus, Super: NoSuper}
+	return Solve(rules, u)
+}
+
+// Replay applies moves to u and returns the resulting configuration.
+func Replay(u perm.Perm, moves []gen.Generator) perm.Perm {
+	cfg := u.Clone()
+	for _, g := range moves {
+		g.Apply(cfg)
+	}
+	return cfg
+}
+
+// Verify checks that moves is a legal solution of the game (rules, u): every
+// move must be one of the rules' permissible actions and the final
+// configuration must be the identity.
+func Verify(rules Rules, u perm.Perm, moves []gen.Generator) error {
+	k := rules.Layout.K()
+	allowed := make(map[string]bool)
+	for _, g := range rules.Generators() {
+		allowed[g.AsPerm(k).String()] = true
+	}
+	cfg := u.Clone()
+	for idx, g := range moves {
+		if !allowed[g.AsPerm(k).String()] {
+			return fmt.Errorf("bag: Verify: move %d (%s) is not a permissible action of %s", idx, g, rules)
+		}
+		g.Apply(cfg)
+	}
+	if !cfg.IsIdentity() {
+		return fmt.Errorf("bag: Verify: final configuration %v is not the identity", cfg)
+	}
+	return nil
+}
+
+// MoveNames renders a move sequence in the paper's notation, e.g.
+// ["T3", "S2", "I4"].
+func MoveNames(moves []gen.Generator) []string {
+	names := make([]string, len(moves))
+	for i, g := range moves {
+		names[i] = g.Name()
+	}
+	return names
+}
+
+// WorstCaseBound returns the upper bound our solver guarantees on the
+// number of moves for the given rules, i.e. an upper bound on the diameter
+// of the derived network. For the transposition nucleus with swaps this is
+// the paper's Balls-to-Boxes bound ⌊2.5nl⌋ + l - 1 + ⌊1.5(l-1)⌋ (§2.1); the
+// other styles follow the move-accounting in §2.2–2.3.
+func WorstCaseBound(rules Rules) int {
+	ly := rules.Layout
+	n, l := ly.N, ly.L
+	k := ly.K()
+	switch rules.Nucleus {
+	case TranspositionNucleus:
+		// Phase-1 transposition events: <= nl home placements plus
+		// <= nl/2 + 1 color-0 exchanges; each event is preceded by at most
+		// one box move. The paper's tighter accounting for the swap style
+		// (⌊2.5nl⌋ + l - 1 for Phase 1, §2.1) covers the exact algorithm we
+		// run, so we keep it there; rotation styles charge the per-move
+		// rotation cost of the style and a final alignment.
+		events := 3*n*l/2 + 1
+		switch rules.Super {
+		case SwapSuper:
+			return 5*n*l/2 + (l - 1) + 3*(l-1)/2
+		case RotCompleteSuper:
+			return 2*events + 1
+		case RotPairSuper:
+			return events*(1+l/2) + l/2
+		case RotSingleSuper:
+			return events*l + l - 1
+		case NoSuper:
+			return 3 * (k - 1) / 2 // a 1-box transposition game is a star game
+		}
+	case InsertionNucleus:
+		inserts := n*l + l // ≤ nl suffix-growing inserts + ≤ l parkings
+		switch rules.Super {
+		case SwapSuper:
+			return 2*inserts + 3*(l-1)/2
+		case RotCompleteSuper:
+			return 2*inserts + 1
+		case RotPairSuper:
+			return inserts*(1+l/2) + l/2
+		case RotSingleSuper:
+			return inserts*l + l - 1
+		case NoSuper:
+			return k + 1
+		}
+	}
+	panic(fmt.Sprintf("bag: WorstCaseBound: unsupported rules %s", rules))
+}

@@ -1,0 +1,81 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestScatterTimeBounds(t *testing.T) {
+	for _, tc := range []struct {
+		fam  topology.Family
+		l, n int
+	}{
+		{topology.MS, 2, 2},
+		{topology.Star, 1, 4},
+		{topology.CompleteRS, 3, 1},
+	} {
+		nw := net(t, tc.fam, tc.l, tc.n)
+		tree, err := BFSTree(nw.Graph(), perm.Identity(nw.K()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range []sim.PortModel{sim.AllPort, sim.SinglePort} {
+			got, err := ScatterTime(tree, model)
+			if err != nil {
+				t.Fatalf("%s %v: %v", nw.Name(), model, err)
+			}
+			lb := ScatterLowerBound(tree, model, nw.Degree())
+			if int64(got) < lb {
+				t.Errorf("%s %v: scatter %d below lower bound %d", nw.Name(), model, got, lb)
+			}
+			// Trivial upper bound: one message per step through the root.
+			if int64(got) > nw.Nodes()+int64(tree.Height) {
+				t.Errorf("%s %v: scatter %d above N+height", nw.Name(), model, got)
+			}
+			t.Logf("%s %v: scatter %d (lower bound %d)", nw.Name(), model, got, lb)
+		}
+	}
+}
+
+// TestScatterSinglePortIsRootBound: under single-port the root is the
+// bottleneck, so the time is close to N-1.
+func TestScatterSinglePortIsRootBound(t *testing.T) {
+	nw := net(t, topology.MS, 2, 2)
+	tree, err := BFSTree(nw.Graph(), perm.Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ScatterTime(tree, sim.SinglePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(nw.Nodes())
+	if got < n-1 {
+		t.Errorf("single-port scatter %d below N-1 = %d", got, n-1)
+	}
+	if got > n-1+tree.Height {
+		t.Errorf("single-port scatter %d above N-1+height = %d", got, n-1+tree.Height)
+	}
+}
+
+// TestScatterAllPortNearBandwidthBound: with farthest-first scheduling the
+// all-port scatter should land within a small factor of the max(bandwidth,
+// depth) bound.
+func TestScatterAllPortNearBandwidthBound(t *testing.T) {
+	nw := net(t, topology.CompleteRS, 3, 1)
+	tree, err := BFSTree(nw.Graph(), perm.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ScatterTime(tree, sim.AllPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := ScatterLowerBound(tree, sim.AllPort, nw.Degree())
+	if int64(got) > 3*lb {
+		t.Errorf("all-port scatter %d more than 3x the lower bound %d", got, lb)
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// BFSResult holds the exact distance profile of a graph from one source.
+// For a vertex-symmetric graph this profile is the same from every source,
+// so Eccentricity is the graph diameter and Mean the average distance.
+type BFSResult struct {
+	// Source is the node index the search started from.
+	Source int64
+	// Reachable counts nodes at finite distance (including the source).
+	Reachable int64
+	// Eccentricity is the largest finite distance found.
+	Eccentricity int
+	// Histogram[d] is the number of nodes at distance exactly d.
+	Histogram []int64
+	// Mean is the average distance over all reachable nodes other than the
+	// source (the paper's "average distance" convention).
+	Mean float64
+	// Dist maps node rank to distance from the source; -1 if unreachable.
+	Dist []int32
+}
+
+// meanFromHistogram computes the average distance over non-source nodes.
+func meanFromHistogram(hist []int64) float64 {
+	var sum, cnt int64
+	for d, c := range hist {
+		if d == 0 {
+			continue
+		}
+		sum += int64(d) * c
+		cnt += c
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt)
+}
+
+// BFS runs a breadth-first search over the whole k!-state space from node
+// src, using unit link weights. It errors if k exceeds MaxExplicitK.
+func (g *Graph) BFS(src perm.Perm) (*BFSResult, error) {
+	k := g.K()
+	if k > MaxExplicitK {
+		return nil, fmt.Errorf("core: BFS: k=%d exceeds MaxExplicitK=%d (%d states)", k, MaxExplicitK, perm.Factorial(k))
+	}
+	if len(src) != k {
+		return nil, fmt.Errorf("core: BFS: source has %d symbols, graph wants %d", len(src), k)
+	}
+	n := perm.Factorial(k)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	srcRank := src.Rank()
+	dist[srcRank] = 0
+	queue := make([]int64, 1, 1024)
+	queue[0] = srcRank
+	cur := make(perm.Perm, k)
+	next := make(perm.Perm, k)
+	scratch := make([]int, k)
+	var hist []int64
+	hist = append(hist, 1)
+	reachable := int64(1)
+	for head := 0; head < len(queue); head++ {
+		r := queue[head]
+		d := dist[r]
+		perm.UnrankInto(k, r, cur, scratch)
+		for _, gp := range g.genPerms {
+			cur.ComposeInto(gp, next)
+			nr := next.Rank()
+			if dist[nr] < 0 {
+				dist[nr] = d + 1
+				for len(hist) <= int(d)+1 {
+					hist = append(hist, 0)
+				}
+				hist[d+1]++
+				reachable++
+				queue = append(queue, nr)
+			}
+		}
+	}
+	return &BFSResult{
+		Source:       srcRank,
+		Reachable:    reachable,
+		Eccentricity: len(hist) - 1,
+		Histogram:    hist,
+		Mean:         meanFromHistogram(hist),
+		Dist:         dist,
+	}, nil
+}
+
+// Diameter returns the exact diameter via BFS from the identity, exploiting
+// vertex-transitivity. It errors for disconnected graphs or k >
+// MaxExplicitK.
+func (g *Graph) Diameter() (int, error) {
+	res, err := g.BFS(perm.Identity(g.K()))
+	if err != nil {
+		return 0, err
+	}
+	if res.Reachable != g.Order() {
+		return 0, fmt.Errorf("core: Diameter: graph is not strongly connected (%d of %d reachable)", res.Reachable, g.Order())
+	}
+	return res.Eccentricity, nil
+}
+
+// AverageDistance returns the exact average distance via BFS from the
+// identity.
+func (g *Graph) AverageDistance() (float64, error) {
+	res, err := g.BFS(perm.Identity(g.K()))
+	if err != nil {
+		return 0, err
+	}
+	if res.Reachable != g.Order() {
+		return 0, fmt.Errorf("core: AverageDistance: graph is not strongly connected")
+	}
+	return res.Mean, nil
+}
+
+// BFSWeighted runs a 0/1-weight shortest-path search (deque BFS) where link
+// i costs weight[i] ∈ {0, 1}. It is used to measure intercluster distances:
+// nucleus links cost 0 and super (intercluster) links cost 1 (§4.3).
+func (g *Graph) BFSWeighted(src perm.Perm, weight []int) (*BFSResult, error) {
+	k := g.K()
+	if k > MaxExplicitK {
+		return nil, fmt.Errorf("core: BFSWeighted: k=%d exceeds MaxExplicitK=%d", k, MaxExplicitK)
+	}
+	if len(weight) != len(g.genPerms) {
+		return nil, fmt.Errorf("core: BFSWeighted: %d weights for %d generators", len(weight), len(g.genPerms))
+	}
+	for i, w := range weight {
+		if w != 0 && w != 1 {
+			return nil, fmt.Errorf("core: BFSWeighted: weight[%d] = %d, only 0/1 supported", i, w)
+		}
+	}
+	n := perm.Factorial(k)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	srcRank := src.Rank()
+	dist[srcRank] = 0
+	// Deque BFS: zero-weight edges push front, unit-weight edges push back.
+	deque := newIntDeque(1024)
+	deque.pushFront(srcRank)
+	cur := make(perm.Perm, k)
+	next := make(perm.Perm, k)
+	scratch := make([]int, k)
+	settled := make([]bool, n)
+	var maxD int32
+	for deque.len() > 0 {
+		r := deque.popFront()
+		if settled[r] {
+			continue
+		}
+		settled[r] = true
+		d := dist[r]
+		if d > maxD {
+			maxD = d
+		}
+		perm.UnrankInto(k, r, cur, scratch)
+		for i, gp := range g.genPerms {
+			cur.ComposeInto(gp, next)
+			nr := next.Rank()
+			nd := d + int32(weight[i])
+			if dist[nr] < 0 || nd < dist[nr] {
+				dist[nr] = nd
+				if weight[i] == 0 {
+					deque.pushFront(nr)
+				} else {
+					deque.pushBack(nr)
+				}
+			}
+		}
+	}
+	hist := make([]int64, maxD+1)
+	reachable := int64(0)
+	for _, d := range dist {
+		if d >= 0 {
+			hist[d]++
+			reachable++
+		}
+	}
+	return &BFSResult{
+		Source:       srcRank,
+		Reachable:    reachable,
+		Eccentricity: int(maxD),
+		Histogram:    hist,
+		Mean:         meanFromHistogram(hist),
+		Dist:         dist,
+	}, nil
+}
+
+// intDeque is a growable double-ended queue of int64 node ranks.
+type intDeque struct {
+	buf        []int64
+	head, size int
+}
+
+func newIntDeque(capacity int) *intDeque {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &intDeque{buf: make([]int64, capacity)}
+}
+
+func (d *intDeque) len() int { return d.size }
+
+func (d *intDeque) grow() {
+	nb := make([]int64, 2*len(d.buf))
+	for i := 0; i < d.size; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+func (d *intDeque) pushFront(v int64) {
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = v
+	d.size++
+}
+
+func (d *intDeque) pushBack(v int64) {
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.size)%len(d.buf)] = v
+	d.size++
+}
+
+func (d *intDeque) popFront() int64 {
+	if d.size == 0 {
+		panic("core: popFront on empty deque")
+	}
+	v := d.buf[d.head]
+	d.head = (d.head + 1) % len(d.buf)
+	d.size--
+	return v
+}

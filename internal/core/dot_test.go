@@ -1,0 +1,55 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTUndirected(t *testing.T) {
+	g := starGraph(3)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "graph ") {
+		t.Error("undirected graph should emit 'graph'")
+	}
+	// 6 nodes, 6 undirected edges for the 3-star (each node degree 2).
+	if got := strings.Count(out, " -- "); got != 6 {
+		t.Errorf("edge count %d, want 6", got)
+	}
+	if got := strings.Count(out, "[label=\"T2\"]"); got != 3 {
+		t.Errorf("T2 edges %d, want 3", got)
+	}
+	if !strings.Contains(out, "n0 [label=\"123\"]") {
+		t.Error("missing identity node")
+	}
+}
+
+func TestWriteDOTDirected(t *testing.T) {
+	g := rotatorGraph(3)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "digraph ") {
+		t.Error("directed graph should emit 'digraph'")
+	}
+	// Every directed link appears: 6 nodes x 2 generators.
+	if got := strings.Count(out, " -> "); got != 12 {
+		t.Errorf("arc count %d, want 12", got)
+	}
+}
+
+func TestWriteDOTSizeGuard(t *testing.T) {
+	g := starGraph(7)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, 100); err == nil {
+		t.Error("oversized DOT accepted")
+	}
+	if err := g.WriteDOT(&b, 6000); err != nil {
+		t.Errorf("5040-node DOT rejected: %v", err)
+	}
+}

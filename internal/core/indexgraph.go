@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// IndexGraph is a generic finite digraph over node indices 0..N-1 described
+// by a neighbor callback. Baseline topologies that are not permutation
+// graphs (hypercubes, tori, k-ary n-cubes, CCC) expose themselves through
+// this interface so that one BFS implementation measures everything.
+type IndexGraph struct {
+	// N is the number of nodes.
+	N int64
+	// Out calls visit for every out-neighbor of node u.
+	Out func(u int64, visit func(v int64))
+}
+
+// BFS runs a unit-weight breadth-first search from src.
+func (ig *IndexGraph) BFS(src int64) (*BFSResult, error) {
+	if src < 0 || src >= ig.N {
+		return nil, fmt.Errorf("core: IndexGraph.BFS: source %d out of range 0..%d", src, ig.N-1)
+	}
+	dist := make([]int32, ig.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int64, 1, 1024)
+	queue[0] = src
+	hist := []int64{1}
+	reachable := int64(1)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		d := dist[u]
+		ig.Out(u, func(v int64) {
+			if v < 0 || v >= ig.N {
+				panic(fmt.Sprintf("core: IndexGraph.BFS: neighbor %d out of range", v))
+			}
+			if dist[v] < 0 {
+				dist[v] = d + 1
+				for len(hist) <= int(d)+1 {
+					hist = append(hist, 0)
+				}
+				hist[d+1]++
+				reachable++
+				queue = append(queue, v)
+			}
+		})
+	}
+	return &BFSResult{
+		Source:       src,
+		Reachable:    reachable,
+		Eccentricity: len(hist) - 1,
+		Histogram:    hist,
+		Mean:         meanFromHistogram(hist),
+		Dist:         dist,
+	}, nil
+}
+
+// DiameterExact computes the exact diameter of a vertex-transitive
+// IndexGraph by BFS from node 0. For non-transitive graphs use
+// DiameterAllPairs.
+func (ig *IndexGraph) DiameterExact() (int, error) {
+	res, err := ig.BFS(0)
+	if err != nil {
+		return 0, err
+	}
+	if res.Reachable != ig.N {
+		return 0, fmt.Errorf("core: DiameterExact: not strongly connected (%d/%d reachable)", res.Reachable, ig.N)
+	}
+	return res.Eccentricity, nil
+}
+
+// DiameterAllPairs computes the exact diameter by BFS from every node.
+// It is O(N·(N+E)) and intended only for small baseline instances.
+func (ig *IndexGraph) DiameterAllPairs() (int, error) {
+	maxEcc := 0
+	for src := int64(0); src < ig.N; src++ {
+		res, err := ig.BFS(src)
+		if err != nil {
+			return 0, err
+		}
+		if res.Reachable != ig.N {
+			return 0, fmt.Errorf("core: DiameterAllPairs: node %d reaches only %d/%d", src, res.Reachable, ig.N)
+		}
+		if res.Eccentricity > maxEcc {
+			maxEcc = res.Eccentricity
+		}
+	}
+	return maxEcc, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// ShortestPath returns a minimum-hop generator-index sequence from src to
+// dst, found by BFS over the full state space (k <= MaxExplicitK). It is
+// the exact-routing oracle used to measure how far the game solvers are
+// from optimal.
+func (g *Graph) ShortestPath(src, dst perm.Perm) ([]int, error) {
+	k := g.K()
+	if k > MaxExplicitK {
+		return nil, fmt.Errorf("core: ShortestPath: k=%d exceeds MaxExplicitK", k)
+	}
+	if len(src) != k || len(dst) != k {
+		return nil, fmt.Errorf("core: ShortestPath: label size mismatch")
+	}
+	if src.Equal(dst) {
+		return nil, nil
+	}
+	n := perm.Factorial(k)
+	// BFS from src recording the generator used to reach each node.
+	via := make([]int8, n)
+	pred := make([]int64, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	srcRank, dstRank := src.Rank(), dst.Rank()
+	pred[srcRank] = srcRank
+	queue := []int64{srcRank}
+	cur := make(perm.Perm, k)
+	next := make(perm.Perm, k)
+	scratch := make([]int, k)
+	found := false
+search:
+	for head := 0; head < len(queue); head++ {
+		r := queue[head]
+		perm.UnrankInto(k, r, cur, scratch)
+		for gi, gp := range g.genPerms {
+			cur.ComposeInto(gp, next)
+			nr := next.Rank()
+			if pred[nr] < 0 {
+				pred[nr] = r
+				via[nr] = int8(gi)
+				if nr == dstRank {
+					found = true
+					break search
+				}
+				queue = append(queue, nr)
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: ShortestPath: %v unreachable from %v", dst, src)
+	}
+	var rev []int
+	for r := dstRank; r != srcRank; r = pred[r] {
+		rev = append(rev, int(via[r]))
+	}
+	path := make([]int, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, nil
+}
+
+// WalkLinks applies the generator-index sequence to src and returns the end
+// node; used to validate ShortestPath results.
+func (g *Graph) WalkLinks(src perm.Perm, links []int) (perm.Perm, error) {
+	cur := src.Clone()
+	for _, li := range links {
+		if li < 0 || li >= len(g.genPerms) {
+			return nil, fmt.Errorf("core: WalkLinks: link %d out of range", li)
+		}
+		cur = cur.Compose(g.genPerms[li])
+	}
+	return cur, nil
+}
+
+// StretchStats summarizes how a routing algorithm's path lengths compare to
+// exact shortest paths over sampled node pairs.
+type StretchStats struct {
+	Pairs       int
+	MeanStretch float64 // mean of (algorithmic length / exact distance)
+	MaxStretch  float64
+	Optimal     int // pairs where the algorithm matched the exact distance
+}
+
+// MeasureStretch samples `pairs` random (src, dst) pairs and compares the
+// supplied route function against exact BFS distances. route must return a
+// walk of generator applications from src to dst (its length is what's
+// measured).
+func (g *Graph) MeasureStretch(pairs int, seed uint64, route func(src, dst perm.Perm) (int, error)) (*StretchStats, error) {
+	k := g.K()
+	if k > MaxExplicitK {
+		return nil, fmt.Errorf("core: MeasureStretch: k=%d too large", k)
+	}
+	rng := perm.NewRNG(seed)
+	st := &StretchStats{}
+	var sum float64
+	for i := 0; i < pairs; i++ {
+		src := perm.Random(k, rng)
+		dst := perm.Random(k, rng)
+		if src.Equal(dst) {
+			continue
+		}
+		exactPath, err := g.ShortestPath(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		exact := len(exactPath)
+		alg, err := route(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		if alg < exact {
+			return nil, fmt.Errorf("core: MeasureStretch: algorithm length %d below exact %d for %v->%v", alg, exact, src, dst)
+		}
+		stretch := float64(alg) / float64(exact)
+		sum += stretch
+		if stretch > st.MaxStretch {
+			st.MaxStretch = stretch
+		}
+		if alg == exact {
+			st.Optimal++
+		}
+		st.Pairs++
+	}
+	if st.Pairs > 0 {
+		st.MeanStretch = sum / float64(st.Pairs)
+	}
+	return st, nil
+}

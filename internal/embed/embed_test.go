@@ -1,0 +1,149 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/bag"
+	"repro/internal/gen"
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+// TestStarToISFactorization: T_i = I'_{i-1} ∘ I_i as group elements, for
+// every i and k.
+func TestStarToISFactorization(t *testing.T) {
+	rng := perm.NewRNG(3)
+	for k := 2; k <= 9; k++ {
+		for i := 2; i <= k; i++ {
+			path, err := StarToIS(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 10; trial++ {
+				u := perm.Random(k, rng)
+				want := gen.NewTransposition(i).ApplyTo(u)
+				got := u.Clone()
+				for _, g := range path {
+					g.Apply(got)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("k=%d i=%d: path %v ends at %v, want %v", k, i, path, got, want)
+				}
+			}
+		}
+	}
+	if _, err := StarToIS(1); err == nil {
+		t.Error("StarToIS(1) accepted")
+	}
+}
+
+// TestStarIntoISDilationCongestion reproduces the §3.3.3 claim exactly:
+// congestion 1 and dilation 2 for every size we can enumerate.
+func TestStarIntoISDilationCongestion(t *testing.T) {
+	for k := 3; k <= 6; k++ {
+		rep, err := MeasureStarIntoIS(k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Dilation != 2 {
+			t.Errorf("k=%d: dilation %d, want 2", k, rep.Dilation)
+		}
+		if rep.Congestion != 1 {
+			t.Errorf("k=%d: congestion %d, want 1", k, rep.Congestion)
+		}
+		if rep.AvgPathLen <= 1 || rep.AvgPathLen >= 2 {
+			t.Errorf("k=%d: avg path length %v outside (1,2)", k, rep.AvgPathLen)
+		}
+	}
+	// Sampled mode for a larger instance.
+	rep, err := MeasureStarIntoIS(9, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dilation != 2 || rep.Congestion != 1 {
+		t.Errorf("k=9 sampled: dilation %d congestion %d", rep.Dilation, rep.Congestion)
+	}
+}
+
+// TestNucleusRemovalDecomposition verifies §3.3.4: rotation-style networks
+// decompose into k!/l rings, complete-rotation ones into k!/l complete
+// graphs once nucleus links are removed.
+func TestNucleusRemovalDecomposition(t *testing.T) {
+	cases := []struct {
+		fam   topology.Family
+		shape ComponentShape
+	}{
+		{topology.RS, RingComponents},
+		{topology.RR, RingComponents},
+		{topology.RIS, RingComponents},
+		{topology.CompleteRS, CompleteComponents},
+		{topology.CompleteRR, CompleteComponents},
+		{topology.CompleteRIS, CompleteComponents},
+	}
+	for _, c := range cases {
+		for _, ln := range []struct{ l, n int }{{3, 2}, {4, 1}, {2, 3}} {
+			nw, err := topology.New(c.fam, ln.l, ln.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comps, err := NucleusRemovalDecomposition(nw, c.shape)
+			if err != nil {
+				t.Fatalf("%s: %v", nw.Name(), err)
+			}
+			want := perm.Factorial(nw.K()) / int64(ln.l)
+			if comps != want {
+				t.Errorf("%s: %d components, want k!/l = %d", nw.Name(), comps, want)
+			}
+		}
+	}
+}
+
+func TestNucleusRemovalRejectsWrongShape(t *testing.T) {
+	nw, err := topology.NewCompleteRS(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// complete-RS(4,1) components are K_4, not rings.
+	if _, err := NucleusRemovalDecomposition(nw, RingComponents); err == nil {
+		t.Error("K_4 components accepted as rings")
+	}
+	star, err := topology.NewStar(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NucleusRemovalDecomposition(star, RingComponents); err == nil {
+		t.Error("star graph (no supers) accepted")
+	}
+}
+
+// TestEmulateStarOnIS: a star route of length m becomes a legal IS route of
+// length <= 2m reaching the same destination.
+func TestEmulateStarOnIS(t *testing.T) {
+	rng := perm.NewRNG(7)
+	isNet, err := topology.NewIS(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		src, dst := perm.Random(7, rng), perm.Random(7, rng)
+		u := dst.Inverse().Compose(src)
+		starMoves, err := bag.SolveStar(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isMoves, err := EmulateStarOnIS(starMoves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(isMoves) > 2*len(starMoves) {
+			t.Fatalf("slowdown %d/%d exceeds 2", len(isMoves), len(starMoves))
+		}
+		if err := isNet.VerifyRoute(src, dst, isMoves); err != nil {
+			t.Fatalf("emulated route invalid: %v", err)
+		}
+	}
+	// Non-star moves are rejected.
+	if _, err := EmulateStarOnIS([]gen.Generator{gen.NewInsertion(3)}); err == nil {
+		t.Error("insertion accepted as star move")
+	}
+}

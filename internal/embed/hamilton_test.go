@@ -1,0 +1,161 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+func TestTranspositionToStarFactorization(t *testing.T) {
+	rng := perm.NewRNG(19)
+	k := 7
+	for i := 1; i < k; i++ {
+		for j := i + 1; j <= k; j++ {
+			path, err := TranspositionToStar(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				u := perm.Random(k, rng)
+				want := gen.NewPositionSwap(i, j).ApplyTo(u)
+				got := u.Clone()
+				for _, g := range path {
+					g.Apply(got)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("P(%d,%d): %v vs %v", i, j, got, want)
+				}
+			}
+			if len(path) > 3 {
+				t.Fatalf("P(%d,%d): dilation %d > 3", i, j, len(path))
+			}
+		}
+	}
+	if _, err := TranspositionToStar(3, 3); err == nil {
+		t.Error("i = j accepted")
+	}
+	if _, err := TranspositionToStar(0, 2); err == nil {
+		t.Error("i = 0 accepted")
+	}
+}
+
+// TestHamiltonianCycles: rings of length N embed in the small instances we
+// can search — star(4), the 24-node rotation networks, and MS(2,2).
+func TestHamiltonianCycles(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (*topology.Network, error)
+	}{
+		{"star(4)", func() (*topology.Network, error) { return topology.NewStar(4) }},
+		{"complete-RS(3,1)", func() (*topology.Network, error) { return topology.NewCompleteRS(3, 1) }},
+		{"rotator(4)", func() (*topology.Network, error) { return topology.NewRotator(4) }},
+
+	}
+	for _, c := range cases {
+		nw, err := c.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycle, err := HamiltonianCycle(nw.Graph(), 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := VerifyHamiltonianCycle(nw.Graph(), cycle); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		t.Logf("%s: Hamiltonian cycle of length %d found", c.name, len(cycle))
+	}
+}
+
+// TestSJTCycle: the constructive Steinhaus–Johnson–Trotter Gray code is a
+// Hamiltonian cycle of the bubble-sort graph at every k we can verify, and
+// through the BubbleToStar embedding it walks the star graph as a closed
+// ring emulation with dilation 3 (the [16]-style cycle embedding the paper
+// cites).
+func TestSJTCycle(t *testing.T) {
+	for k := 3; k <= 7; k++ {
+		bub, err := topology.NewBubbleSort(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycle, err := SJTCycle(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyGeneratorCycle(bub.Graph(), cycle); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+	// Ring emulation on the star graph: expand each adjacent swap; the walk
+	// closes and touches every node at least once.
+	cycle, err := SJTCycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starMoves, err := EmulateBubbleOnStar(cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starMoves) > 3*len(cycle) {
+		t.Fatalf("expanded ring length %d above 3x", len(starMoves))
+	}
+	star, err := topology.NewStar(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := perm.Identity(5)
+	touched := map[int64]bool{cur.Rank(): true}
+	set := star.Graph().GeneratorSet()
+	for _, m := range starMoves {
+		if set.IndexOf(m) < 0 {
+			t.Fatalf("move %s is not a star link", m.Name())
+		}
+		m.Apply(cur)
+		touched[cur.Rank()] = true
+	}
+	if !cur.IsIdentity() {
+		t.Fatalf("ring emulation does not close: %v", cur)
+	}
+	if int64(len(touched)) != star.Nodes() {
+		t.Fatalf("ring emulation touched %d of %d nodes", len(touched), star.Nodes())
+	}
+	if _, err := SJTCycle(2); err == nil {
+		t.Error("k=2 accepted")
+	}
+	if _, err := SJTCycle(11); err == nil {
+		t.Error("k=11 accepted")
+	}
+}
+
+func TestHamiltonianCycleGuards(t *testing.T) {
+	nw, err := topology.NewStar(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HamiltonianCycle(nw.Graph(), 100, 0); err == nil {
+		t.Error("oversized graph accepted")
+	}
+	st, err := topology.NewStar(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An absurdly small step budget must fail cleanly.
+	if _, err := HamiltonianCycle(st.Graph(), 0, 3); err == nil {
+		t.Error("tiny budget should fail")
+	}
+	// Verification rejects wrong cycles.
+	cycle, err := HamiltonianCycle(st.Graph(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHamiltonianCycle(st.Graph(), cycle[:len(cycle)-1]); err == nil {
+		t.Error("truncated cycle accepted")
+	}
+	bad := append([]int(nil), cycle...)
+	bad[0] = 99
+	if err := VerifyHamiltonianCycle(st.Graph(), bad); err == nil {
+		t.Error("invalid link accepted")
+	}
+}

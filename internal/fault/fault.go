@@ -1,0 +1,195 @@
+// Package fault measures the resilience of permutation networks to link
+// failures — the fault-tolerance property the paper's introduction cites as
+// one of the star graph's attractions that super Cayley graphs inherit.
+// Vertex symmetry is broken by faults, so measurements run from explicit
+// sources over the faulted graph.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// Link identifies one directed link: the source node rank and the generator
+// (link dimension) index.
+type Link struct {
+	Node int64
+	Gen  int
+}
+
+// Set is a collection of failed directed links.
+type Set map[Link]bool
+
+// NewSet builds a fault set from links.
+func NewSet(links ...Link) Set {
+	s := make(Set, len(links))
+	for _, l := range links {
+		s[l] = true
+	}
+	return s
+}
+
+// RandomSet draws `count` distinct random failed links from a graph with n
+// nodes and degree deg, deterministically from the seed.
+func RandomSet(n int64, deg int, count int, seed uint64) Set {
+	rng := perm.NewRNG(seed)
+	s := make(Set, count)
+	for len(s) < count {
+		l := Link{Node: int64(rng.Intn(int(n))), Gen: rng.Intn(deg)}
+		s[l] = true
+	}
+	return s
+}
+
+// Profile reports the state of a faulted graph as seen from one source.
+type Profile struct {
+	// Reachable counts nodes still reachable from the source.
+	Reachable int64
+	// Connected is true when every node remains reachable.
+	Connected bool
+	// Eccentricity is the largest finite distance from the source.
+	Eccentricity int
+	// Mean is the average distance to reachable non-source nodes.
+	Mean float64
+}
+
+// BFS runs a breadth-first search from src over g with the failed links
+// removed. Undirected graphs should include both directions of a failed
+// edge in the set if the physical wire is cut.
+func BFS(g *core.Graph, faults Set, src perm.Perm) (*Profile, error) {
+	k := g.K()
+	if k > core.MaxExplicitK {
+		return nil, fmt.Errorf("fault: BFS: k=%d too large", k)
+	}
+	n := g.Order()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	srcRank := src.Rank()
+	dist[srcRank] = 0
+	queue := []int64{srcRank}
+	cur := make(perm.Perm, k)
+	next := make(perm.Perm, k)
+	scratch := make([]int, k)
+	perms := g.GeneratorSet().Perms()
+	reachable := int64(1)
+	var sum int64
+	maxD := int32(0)
+	for head := 0; head < len(queue); head++ {
+		r := queue[head]
+		d := dist[r]
+		perm.UnrankInto(k, r, cur, scratch)
+		for gi, gp := range perms {
+			if faults[Link{Node: r, Gen: gi}] {
+				continue
+			}
+			cur.ComposeInto(gp, next)
+			nr := next.Rank()
+			if dist[nr] < 0 {
+				dist[nr] = d + 1
+				reachable++
+				sum += int64(d + 1)
+				if d+1 > maxD {
+					maxD = d + 1
+				}
+				queue = append(queue, nr)
+			}
+		}
+	}
+	p := &Profile{
+		Reachable:    reachable,
+		Connected:    reachable == n,
+		Eccentricity: int(maxD),
+	}
+	if reachable > 1 {
+		p.Mean = float64(sum) / float64(reachable-1)
+	}
+	return p, nil
+}
+
+// MirrorUndirected extends a fault set with the reverse direction of every
+// failed link, modelling a severed physical wire in an undirected Cayley
+// graph. The reverse of (u, g) is (u∘g, g') where g' is the generator whose
+// action inverts g.
+func MirrorUndirected(g *core.Graph, faults Set) (Set, error) {
+	k := g.K()
+	set := g.GeneratorSet()
+	perms := set.Perms()
+	// For each generator find the index of its inverse action.
+	invIdx := make([]int, set.Len())
+	for i := range invIdx {
+		invIdx[i] = -1
+		invP := set.At(i).Inverse(k).AsPerm(k)
+		for j := range perms {
+			if perms[j].Equal(invP) {
+				invIdx[i] = j
+				break
+			}
+		}
+		if invIdx[i] == -1 {
+			return nil, fmt.Errorf("fault: MirrorUndirected: generator %s has no inverse in %s", set.At(i).Name(), g.Name())
+		}
+	}
+	out := make(Set, 2*len(faults))
+	buf := make(perm.Perm, k)
+	scratch := make([]int, k)
+	tgt := make(perm.Perm, k)
+	for l := range faults {
+		out[l] = true
+		perm.UnrankInto(k, l.Node, buf, scratch)
+		buf.ComposeInto(perms[l.Gen], tgt)
+		out[Link{Node: tgt.Rank(), Gen: invIdx[l.Gen]}] = true
+	}
+	return out, nil
+}
+
+// Trial summarizes a random-failure experiment.
+type Trial struct {
+	Faults            int
+	ConnectedRuns     int
+	Runs              int
+	WorstEccDelta     int     // worst eccentricity increase over the fault-free value
+	MeanDistInflation float64 // average of (faulted mean / fault-free mean)
+}
+
+// RandomTrials injects `faults` random failed links (mirrored for
+// undirected graphs), repeats `runs` times with distinct seeds, and reports
+// connectivity and distance inflation from the identity source.
+func RandomTrials(g *core.Graph, faults, runs int, seed uint64) (*Trial, error) {
+	base, err := g.BFS(perm.Identity(g.K()))
+	if err != nil {
+		return nil, err
+	}
+	if base.Reachable != g.Order() {
+		return nil, fmt.Errorf("fault: RandomTrials: %s is not connected fault-free", g.Name())
+	}
+	tr := &Trial{Faults: faults, Runs: runs}
+	var inflationSum float64
+	for r := 0; r < runs; r++ {
+		fs := RandomSet(g.Order(), g.GeneratorSet().Len(), faults, seed+uint64(r))
+		if g.Undirected() {
+			fs, err = MirrorUndirected(g, fs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		prof, err := BFS(g, fs, perm.Identity(g.K()))
+		if err != nil {
+			return nil, err
+		}
+		if prof.Connected {
+			tr.ConnectedRuns++
+			if delta := prof.Eccentricity - base.Eccentricity; delta > tr.WorstEccDelta {
+				tr.WorstEccDelta = delta
+			}
+			inflationSum += prof.Mean / base.Mean
+		}
+	}
+	if tr.ConnectedRuns > 0 {
+		tr.MeanDistInflation = inflationSum / float64(tr.ConnectedRuns)
+	}
+	return tr, nil
+}

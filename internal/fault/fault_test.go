@@ -1,0 +1,230 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func net(t *testing.T, fam topology.Family, l, n int) *topology.Network {
+	t.Helper()
+	nw, err := topology.New(fam, l, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBFSNoFaultsMatchesCore(t *testing.T) {
+	nw := net(t, topology.MS, 2, 2)
+	prof, err := BFS(nw.Graph(), nil, perm.Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := nw.Graph().BFS(perm.Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.Connected || prof.Eccentricity != base.Eccentricity || prof.Mean != base.Mean {
+		t.Fatalf("fault-free profile %+v differs from core BFS (ecc %d mean %f)",
+			prof, base.Eccentricity, base.Mean)
+	}
+}
+
+// TestSingleLinkFailureKeepsConnected: every single directed-link failure
+// (mirrored) leaves MS(2,2) connected — 2-edge-connectivity of a degree-3
+// vertex-symmetric graph.
+func TestSingleLinkFailureKeepsConnected(t *testing.T) {
+	nw := net(t, topology.MS, 2, 2)
+	g := nw.Graph()
+	deg := g.GeneratorSet().Len()
+	// Sample every generator on a spread of nodes (full enumeration is
+	// 120×3 BFS runs — fine).
+	for node := int64(0); node < g.Order(); node += 5 {
+		for gi := 0; gi < deg; gi++ {
+			fs, err := MirrorUndirected(g, NewSet(Link{Node: node, Gen: gi}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := BFS(g, fs, perm.Identity(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prof.Connected {
+				t.Fatalf("single failure (%d,%d) disconnected MS(2,2)", node, gi)
+			}
+		}
+	}
+}
+
+// TestFaultDisconnectsWhenIsolatingANode: failing all links of one node
+// disconnects it.
+func TestFaultDisconnectsWhenIsolatingANode(t *testing.T) {
+	nw := net(t, topology.MS, 2, 2)
+	g := nw.Graph()
+	victim := int64(17)
+	var links []Link
+	for gi := 0; gi < g.GeneratorSet().Len(); gi++ {
+		links = append(links, Link{Node: victim, Gen: gi})
+	}
+	fs, err := MirrorUndirected(g, NewSet(links...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BFS(g, fs, perm.Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Connected {
+		t.Fatal("isolating a node did not disconnect the graph")
+	}
+	if prof.Reachable != g.Order()-1 {
+		t.Fatalf("reachable %d, want %d", prof.Reachable, g.Order()-1)
+	}
+}
+
+func TestRandomSetDeterministic(t *testing.T) {
+	a := RandomSet(100, 4, 10, 3)
+	b := RandomSet(100, 4, 10, 3)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatal("size")
+	}
+	for l := range a {
+		if !b[l] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestRandomTrials(t *testing.T) {
+	nw := net(t, topology.MS, 2, 2)
+	tr, err := RandomTrials(nw.Graph(), 3, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Runs != 20 || tr.Faults != 3 {
+		t.Fatalf("trial bookkeeping: %+v", tr)
+	}
+	// With only 3 failed wires out of 360, the 120-node degree-3 graph stays
+	// connected almost always.
+	if tr.ConnectedRuns < 15 {
+		t.Errorf("only %d/20 runs connected under 3 faults", tr.ConnectedRuns)
+	}
+	if tr.ConnectedRuns > 0 && tr.MeanDistInflation < 1.0 {
+		t.Errorf("mean distance inflation %f < 1", tr.MeanDistInflation)
+	}
+	t.Logf("MS(2,2) with 3 random faults: %d/%d connected, worst ecc +%d, mean inflation %.4f",
+		tr.ConnectedRuns, tr.Runs, tr.WorstEccDelta, tr.MeanDistInflation)
+}
+
+// TestResilienceComparison: at equal fault counts, the richer complete-RS
+// stays at least as connected as the sparser RR (directed single rotation),
+// matching the intuition that extra rotation generators add redundancy.
+func TestResilienceComparison(t *testing.T) {
+	crs := net(t, topology.CompleteRS, 3, 1) // degree 4, N = 24
+	rr := net(t, topology.RR, 3, 1)          // degree 2, N = 24
+	const faults, runs = 2, 30
+	a, err := RandomTrials(crs.Graph(), faults, runs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomTrials(rr.Graph(), faults, runs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ConnectedRuns < b.ConnectedRuns {
+		t.Errorf("complete-RS (%d/%d) less resilient than RR (%d/%d)",
+			a.ConnectedRuns, runs, b.ConnectedRuns, runs)
+	}
+	t.Logf("connected under %d faults: complete-RS %d/%d, RR %d/%d",
+		faults, a.ConnectedRuns, runs, b.ConnectedRuns, runs)
+}
+
+func TestMirrorUndirectedRejectsDirected(t *testing.T) {
+	rr := net(t, topology.RR, 3, 2)
+	// RR's insertion generators lack inverses in the set.
+	if _, err := MirrorUndirected(rr.Graph(), NewSet(Link{Node: 0, Gen: 0})); err == nil {
+		t.Error("directed graph accepted by MirrorUndirected")
+	}
+}
+
+func TestBFSSizeGuard(t *testing.T) {
+	nw, err := topology.NewStar(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BFS(nw.Graph(), nil, perm.Identity(11)); err == nil {
+		t.Error("k=11 accepted")
+	}
+}
+
+func TestRoutedTopologyUnderFaults(t *testing.T) {
+	nw := net(t, topology.MS, 2, 2)
+	g := nw.Graph()
+	fs, err := MirrorUndirected(g, RandomSet(g.Order(), g.GeneratorSet().Len(), 4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRoutedTopology(g, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Name() == "" || rt.NumNodes() != g.Order() || rt.Degree() != g.GeneratorSet().Len() {
+		t.Fatal("shape")
+	}
+	// Paths avoid failed links and end at the destination.
+	for src := int64(0); src < rt.NumNodes(); src += 17 {
+		for dst := int64(3); dst < rt.NumNodes(); dst += 23 {
+			path, err := rt.Path(src, dst)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", src, dst, err)
+			}
+			cur := src
+			for _, link := range path {
+				if fs[Link{Node: cur, Gen: link}] {
+					t.Fatalf("path %d->%d uses failed link (%d,%d)", src, dst, cur, link)
+				}
+				cur = rt.Neighbor(cur, link)
+			}
+			if cur != dst {
+				t.Fatalf("path %d->%d ends at %d", src, dst, cur)
+			}
+		}
+	}
+	// End-to-end simulation over the faulted network completes.
+	pkts := sim.PermutationRouting(rt.NumNodes(), 3)
+	res, err := sim.RunUnicast(rt, pkts, sim.AllPort, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != int64(len(pkts)) {
+		t.Fatalf("delivered %d of %d under faults", res.Delivered, len(pkts))
+	}
+	t.Logf("faulted MS(2,2): permutation routing completed in %d steps", res.Steps)
+}
+
+func TestRoutedTopologyUnreachable(t *testing.T) {
+	nw := net(t, topology.MS, 2, 2)
+	g := nw.Graph()
+	// Isolate node 17.
+	var links []Link
+	for gi := 0; gi < g.GeneratorSet().Len(); gi++ {
+		links = append(links, Link{Node: 17, Gen: gi})
+	}
+	fs, err := MirrorUndirected(g, NewSet(links...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRoutedTopology(g, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Path(0, 17); err == nil {
+		t.Error("path to isolated node accepted")
+	}
+	if p, err := rt.Path(5, 5); err != nil || len(p) != 0 {
+		t.Error("self path")
+	}
+}

@@ -1,0 +1,122 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/sim"
+)
+
+// RoutedTopology adapts a faulted Cayley graph to the packet simulator:
+// paths are exact shortest paths in the surviving graph (computed by BFS
+// per source and cached), so the simulator measures end-to-end behaviour of
+// fault-aware minimal routing. Only links absent from the fault set exist.
+type RoutedTopology struct {
+	g      *core.Graph
+	faults Set
+	name   string
+	perms  []perm.Perm
+	// pathCache[src] holds predecessor data from one BFS.
+	pathCache map[int64]*bfsPaths
+}
+
+type bfsPaths struct {
+	pred []int64
+	via  []int8
+}
+
+// NewRoutedTopology wraps graph g with the given fault set. The surviving
+// graph must keep every node reachable from every other (checked lazily per
+// source; unreachable destinations surface as Path errors).
+func NewRoutedTopology(g *core.Graph, faults Set) (*RoutedTopology, error) {
+	if g.K() > core.MaxExplicitK {
+		return nil, fmt.Errorf("fault: NewRoutedTopology: k=%d too large", g.K())
+	}
+	return &RoutedTopology{
+		g:         g,
+		faults:    faults,
+		name:      g.Name() + "+faults",
+		perms:     g.GeneratorSet().Perms(),
+		pathCache: make(map[int64]*bfsPaths),
+	}, nil
+}
+
+// Name implements sim.Topology.
+func (rt *RoutedTopology) Name() string { return rt.name }
+
+// NumNodes implements sim.Topology.
+func (rt *RoutedTopology) NumNodes() int64 { return rt.g.Order() }
+
+// Degree implements sim.Topology (failed links still occupy their index;
+// they simply never appear in paths).
+func (rt *RoutedTopology) Degree() int { return rt.g.GeneratorSet().Len() }
+
+// Neighbor implements sim.Topology.
+func (rt *RoutedTopology) Neighbor(node int64, link int) int64 {
+	u := perm.Unrank(rt.g.K(), node)
+	return u.Compose(rt.perms[link]).Rank()
+}
+
+// Path returns a shortest surviving path from src to dst as link indices.
+func (rt *RoutedTopology) Path(src, dst int64) ([]int, error) {
+	if src == dst {
+		return nil, nil
+	}
+	paths, err := rt.bfsFrom(src)
+	if err != nil {
+		return nil, err
+	}
+	if paths.pred[dst] < 0 {
+		return nil, fmt.Errorf("fault: Path: %d unreachable from %d under faults", dst, src)
+	}
+	var rev []int
+	for cur := dst; cur != src; cur = paths.pred[cur] {
+		rev = append(rev, int(paths.via[cur]))
+	}
+	out := make([]int, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, nil
+}
+
+func (rt *RoutedTopology) bfsFrom(src int64) (*bfsPaths, error) {
+	if p, ok := rt.pathCache[src]; ok {
+		return p, nil
+	}
+	k := rt.g.K()
+	n := rt.g.Order()
+	pred := make([]int64, n)
+	via := make([]int8, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	pred[src] = src
+	queue := []int64{src}
+	cur := make(perm.Perm, k)
+	next := make(perm.Perm, k)
+	scratch := make([]int, k)
+	for head := 0; head < len(queue); head++ {
+		r := queue[head]
+		perm.UnrankInto(k, r, cur, scratch)
+		for gi, gp := range rt.perms {
+			if rt.faults[Link{Node: r, Gen: gi}] {
+				continue
+			}
+			cur.ComposeInto(gp, next)
+			nr := next.Rank()
+			if pred[nr] < 0 {
+				pred[nr] = r
+				via[nr] = int8(gi)
+				queue = append(queue, nr)
+			}
+		}
+	}
+	p := &bfsPaths{pred: pred, via: via}
+	rt.pathCache[src] = p
+	return p, nil
+}
+
+// Interface compliance.
+var _ sim.Topology = (*RoutedTopology)(nil)

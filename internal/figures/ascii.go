@@ -1,0 +1,124 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RenderASCII draws the series as a terminal scatter plot in the style of
+// the paper's figures: x = log₂N, y = the metric, one glyph per series.
+// Width and height are the plot-area dimensions in characters; sensible
+// defaults are applied when zero. Values are clipped to the axis range
+// derived from the data; a legend maps glyphs to series names.
+func RenderASCII(title string, series []Series, width, height int, logY bool) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 24
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+	// Gather axis ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			y := p.Value
+			if logY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			any = true
+			minX = math.Min(minX, p.Log2N)
+			maxX = math.Max(maxX, p.Log2N)
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, glyph byte) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		row := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		row = height - 1 - row // origin at bottom-left
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		if grid[row][col] != ' ' && grid[row][col] != glyph {
+			grid[row][col] = '?' // collision marker
+			return
+		}
+		grid[row][col] = glyph
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			y := p.Value
+			if logY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			plot(p.Log2N, y, g)
+		}
+	}
+	yLabel := func(v float64) float64 {
+		if logY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for i, row := range grid {
+		yv := maxY - (maxY-minY)*float64(i)/float64(height-1)
+		label := ""
+		if i == 0 || i == height-1 || i == height/2 {
+			label = fmt.Sprintf("%8.1f", yLabel(yv))
+		}
+		fmt.Fprintf(&b, "%8s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-8.1f%s%8.1f\n", "", minX, strings.Repeat(" ", max(0, width-16)), maxX)
+	fmt.Fprintf(&b, "%8s  x = log2(N)%s\n", "", yAxisNote(logY))
+	// Legend, stable order.
+	names := make([]string, 0, len(series))
+	for si, s := range series {
+		names = append(names, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "  legend: %s\n", strings.Join(names, " | "))
+	return b.String()
+}
+
+func yAxisNote(logY bool) string {
+	if logY {
+		return "   (y log-scaled)"
+	}
+	return ""
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// AvgDistanceRow records the Theorem 4.7 measurement for one instance: the
+// exact average distance, the Moore-packing lower bound at the same size
+// and degree, and their ratio (which the theorem says tends to 1 for
+// balanced super Cayley graphs).
+type AvgDistanceRow struct {
+	Network    string
+	Nodes      int64
+	Degree     int
+	AvgDist    float64
+	LowerBound float64
+	Ratio      float64
+	// Throughput is the pin-limited per-node throughput P/D̄ at unit pin
+	// budget (§4.2).
+	Throughput float64
+}
+
+// AvgDistanceTable measures the exact average distance of every super
+// Cayley family at (l,n) plus the star graph of the same k, and reports the
+// Theorem 4.7 ratios. All instances must satisfy k <= 10.
+func AvgDistanceTable(l, n int) ([]AvgDistanceRow, error) {
+	k := l*n + 1
+	var rows []AvgDistanceRow
+	add := func(nw *topology.Network) error {
+		avg, err := nw.Graph().AverageDistance()
+		if err != nil {
+			return fmt.Errorf("%s: %v", nw.Name(), err)
+		}
+		// Directed graphs pack distance layers with branching d rather than
+		// d-1; use the matching Moore bound.
+		var lb float64
+		if nw.Undirected() {
+			lb, err = metrics.AvgDistanceLowerBound(float64(nw.Nodes()), nw.Degree())
+		} else {
+			lb, err = metrics.AvgDistanceLowerBoundDirected(float64(nw.Nodes()), nw.Degree())
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %v", nw.Name(), err)
+		}
+		th, err := metrics.PinLimitedThroughput(1, avg)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, AvgDistanceRow{
+			Network:    nw.Name(),
+			Nodes:      nw.Nodes(),
+			Degree:     nw.Degree(),
+			AvgDist:    avg,
+			LowerBound: lb,
+			Ratio:      avg / lb,
+			Throughput: th,
+		})
+		return nil
+	}
+	star, err := topology.NewStar(k)
+	if err != nil {
+		return nil, err
+	}
+	if err := add(star); err != nil {
+		return nil, err
+	}
+	for _, fam := range topology.AllSuperCayleyFamilies() {
+		nw, err := topology.New(fam, l, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(nw); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// RenderAvgDistanceTable renders the Theorem 4.7 table as aligned text.
+func RenderAvgDistanceTable(rows []AvgDistanceRow) string {
+	var b strings.Builder
+	title := "Theorem 4.7: average distance vs Moore lower bound (exact BFS)"
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&b, "%-20s %8s %7s %10s %10s %8s %11s\n",
+		"network", "N", "degree", "avg dist", "Moore LB", "ratio", "throughput")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %8d %7d %10.4f %10.4f %8.4f %11.5f\n",
+			r.Network, r.Nodes, r.Degree, r.AvgDist, r.LowerBound, r.Ratio, r.Throughput)
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAvgDistanceTable(t *testing.T) {
+	rows, err := AvgDistanceTable(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // star + 9 super Cayley families
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio < 1 {
+			t.Errorf("%s: ratio %f < 1 (beats Moore bound)", r.Network, r.Ratio)
+		}
+		if r.Ratio > 3 {
+			t.Errorf("%s: ratio %f suspiciously large at this size", r.Network, r.Ratio)
+		}
+		if r.Throughput <= 0 || r.Throughput >= 1 {
+			t.Errorf("%s: throughput %f outside (0,1)", r.Network, r.Throughput)
+		}
+		if r.AvgDist < r.LowerBound {
+			t.Errorf("%s: average distance %f below lower bound %f", r.Network, r.AvgDist, r.LowerBound)
+		}
+	}
+	// Directed rotator-based families have smaller average distance than
+	// MS at the same size when degree is comparable: at (3,2), MR (deg 4)
+	// vs MS (deg 4).
+	var ms, mr float64
+	for _, r := range rows {
+		switch r.Network {
+		case "MS(3,2)":
+			ms = r.AvgDist
+		case "MR(3,2)":
+			mr = r.AvgDist
+		}
+	}
+	if ms == 0 || mr == 0 {
+		t.Fatal("missing MS/MR rows")
+	}
+	if mr >= ms {
+		t.Errorf("MR avg distance %f not below MS %f", mr, ms)
+	}
+	text := RenderAvgDistanceTable(rows)
+	if !strings.Contains(text, "MS(3,2)") || !strings.Contains(text, "Theorem 4.7") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestAvgDistanceTableErrors(t *testing.T) {
+	if _, err := AvgDistanceTable(4, 3); err == nil { // k = 13 > 10
+		t.Error("oversized table accepted")
+	}
+}

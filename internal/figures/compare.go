@@ -1,0 +1,115 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// CompareRow is one row of the §4.1-style comparison table: every family at
+// one (l,n), with exact measurements where the instance is enumerable.
+type CompareRow struct {
+	Network       string
+	Nodes         int64
+	Degree        int
+	DiameterBound int
+	ExactDiameter int     // -1 when not measured
+	ExactAvgDist  float64 // NaN-free: 0 when not measured
+	DL            float64 // universal lower bound at (N, degree)
+	Alpha         float64 // ExactDiameter / DL; 0 when not measured
+	Cost          int     // degree × (exact diameter if known, else bound)
+}
+
+// CompareTable builds the comparison for all nine super Cayley families
+// plus the star graph of the same k. When exact is true (k <= 10) the
+// diameters and average distances are measured by BFS.
+func CompareTable(l, n int, exact bool) ([]CompareRow, error) {
+	k := l*n + 1
+	var rows []CompareRow
+	add := func(nw *topology.Network) error {
+		row := CompareRow{
+			Network:       nw.Name(),
+			Nodes:         nw.Nodes(),
+			Degree:        nw.Degree(),
+			DiameterBound: nw.DiameterUpperBound(),
+			ExactDiameter: -1,
+		}
+		if nw.Degree() >= 3 {
+			var dl float64
+			var err error
+			if nw.Undirected() {
+				dl, err = metrics.DL(float64(nw.Nodes()), nw.Degree())
+			} else {
+				dl, err = metrics.DLDirected(float64(nw.Nodes()), nw.Degree())
+			}
+			if err == nil && dl > 0 {
+				row.DL = dl
+			}
+		}
+		if exact {
+			d, err := nw.Graph().Diameter()
+			if err != nil {
+				return fmt.Errorf("%s: %v", nw.Name(), err)
+			}
+			row.ExactDiameter = d
+			avg, err := nw.Graph().AverageDistance()
+			if err != nil {
+				return fmt.Errorf("%s: %v", nw.Name(), err)
+			}
+			row.ExactAvgDist = avg
+			if row.DL > 0 {
+				row.Alpha = float64(d) / row.DL
+			}
+			row.Cost = nw.Degree() * d
+		} else {
+			row.Cost = nw.Degree() * row.DiameterBound
+		}
+		rows = append(rows, row)
+		return nil
+	}
+	star, err := topology.NewStar(k)
+	if err != nil {
+		return nil, err
+	}
+	if err := add(star); err != nil {
+		return nil, err
+	}
+	for _, fam := range topology.AllSuperCayleyFamilies() {
+		nw, err := topology.New(fam, l, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(nw); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// RenderCompareTable renders the comparison as aligned text.
+func RenderCompareTable(rows []CompareRow) string {
+	var b strings.Builder
+	title := "Network comparison (§4.1)"
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&b, "%-20s %8s %6s %7s %7s %9s %7s %6s %6s\n",
+		"network", "N", "degree", "D(alg)", "D(BFS)", "avg dist", "D_L", "alpha", "cost")
+	for _, r := range rows {
+		exD, avg, alpha := "-", "-", "-"
+		if r.ExactDiameter >= 0 {
+			exD = fmt.Sprintf("%d", r.ExactDiameter)
+			avg = fmt.Sprintf("%.3f", r.ExactAvgDist)
+			if r.Alpha > 0 {
+				alpha = fmt.Sprintf("%.3f", r.Alpha)
+			}
+		}
+		dl := "-"
+		if r.DL > 0 {
+			dl = fmt.Sprintf("%.2f", r.DL)
+		}
+		fmt.Fprintf(&b, "%-20s %8d %6d %7d %7s %9s %7s %6s %6d\n",
+			r.Network, r.Nodes, r.Degree, r.DiameterBound, exD, avg, dl, alpha, r.Cost)
+	}
+	return b.String()
+}

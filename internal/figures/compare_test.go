@@ -1,0 +1,53 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareTableExact(t *testing.T) {
+	rows, err := CompareTable(3, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ExactDiameter < 1 {
+			t.Errorf("%s: no exact diameter", r.Network)
+		}
+		if r.ExactDiameter > r.DiameterBound {
+			t.Errorf("%s: exact %d above bound %d", r.Network, r.ExactDiameter, r.DiameterBound)
+		}
+		if r.Alpha < 1 {
+			t.Errorf("%s: alpha %.3f below 1", r.Network, r.Alpha)
+		}
+		if r.Cost != r.Degree*r.ExactDiameter {
+			t.Errorf("%s: cost inconsistent", r.Network)
+		}
+	}
+	text := RenderCompareTable(rows)
+	if !strings.Contains(text, "MS(3,2)") || !strings.Contains(text, "star(7)") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestCompareTableFormulaOnly(t *testing.T) {
+	// k = 13: no BFS, formula columns only.
+	rows, err := CompareTable(4, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ExactDiameter != -1 {
+			t.Errorf("%s: unexpected exact measurement", r.Network)
+		}
+		if r.Cost != r.Degree*r.DiameterBound {
+			t.Errorf("%s: formula cost inconsistent", r.Network)
+		}
+	}
+	if RenderCompareTable(rows) == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,235 @@
+// Package figures regenerates the paper's evaluation artifacts: Figure 4
+// (node degree vs network size), Figure 5 (diameter vs size), Figure 6
+// (degree×diameter vs size), and Table 1 (asymptotic diameter-to-lower-bound
+// ratios). The super Cayley curves use the parameter list printed under the
+// paper's figures — (2,2), (2,3), (2,4), (3,3) — and the baseline curves are
+// evaluated from their closed forms at matching sizes.
+package figures
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// Point is one figure sample.
+type Point struct {
+	// Log2N is the x-coordinate of Figures 4–6: log₂ of the network size.
+	Log2N float64
+	// Value is the y-coordinate (degree, diameter, or cost).
+	Value float64
+	// Label names the instance, e.g. "MS(2,3)".
+	Label string
+}
+
+// Series is one plotted curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// paperParams is the parameter list from the captions of Figures 4–6.
+var paperParams = []struct{ L, N int }{{2, 2}, {2, 3}, {2, 4}, {3, 3}}
+
+// log2Factorial returns log₂(k!) without overflow.
+func log2Factorial(k int) float64 {
+	s := 0.0
+	for i := 2; i <= k; i++ {
+		s += math.Log2(float64(i))
+	}
+	return s
+}
+
+func superCayleySeries(fam topology.Family, value func(l, n int) (float64, error)) (Series, error) {
+	s := Series{Name: fam.String()}
+	for _, p := range paperParams {
+		v, err := value(p.L, p.N)
+		if err != nil {
+			return Series{}, err
+		}
+		s.Points = append(s.Points, Point{
+			Log2N: log2Factorial(p.L*p.N + 1),
+			Value: v,
+			Label: fmt.Sprintf("%v(%d,%d)", fam, p.L, p.N),
+		})
+	}
+	return s, nil
+}
+
+func starSeries(value func(k int) float64) Series {
+	s := Series{Name: "star"}
+	for k := 5; k <= 12; k++ {
+		s.Points = append(s.Points, Point{
+			Log2N: log2Factorial(k),
+			Value: value(k),
+			Label: fmt.Sprintf("star(%d)", k),
+		})
+	}
+	return s
+}
+
+// baselineSeries samples a baseline family at sizes 2^6 .. 2^24.
+func baselineSeries(family string, value func(b *topology.Baseline) float64) (Series, error) {
+	s := Series{Name: family}
+	for lg := 6; lg <= 24; lg += 2 {
+		b, err := topology.BaselineAtSize(family, int64(1)<<uint(lg))
+		if err != nil {
+			return Series{}, err
+		}
+		s.Points = append(s.Points, Point{
+			Log2N: math.Log2(float64(b.Nodes)),
+			Value: value(b),
+			Label: b.Name,
+		})
+	}
+	return s, nil
+}
+
+// Fig4Degrees regenerates Figure 4: node degree versus log₂N for MS and RR
+// at the caption's parameters, star graphs, hypercubes, and 2-D/3-D tori.
+func Fig4Degrees() ([]Series, error) {
+	var out []Series
+	for _, fam := range []topology.Family{topology.MS, topology.RR} {
+		s, err := superCayleySeries(fam, func(l, n int) (float64, error) {
+			d, err := topology.DegreeFormula(fam, l, n)
+			return float64(d), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	out = append(out, starSeries(func(k int) float64 { return float64(k - 1) }))
+	for _, fam := range []string{"hypercube", "torus2d", "torus3d"} {
+		s, err := baselineSeries(fam, func(b *topology.Baseline) float64 { return float64(b.Degree) })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig5Diameters regenerates Figure 5: diameter versus log₂N for MS, RR, and
+// RIS (per the caption), star graphs, hypercubes, and tori. Super Cayley
+// values are the routing-algorithm upper bounds (the paper plots its bound
+// formulas too); exact BFS values for enumerable sizes are reported
+// separately by ExactDiameterOverlay.
+func Fig5Diameters() ([]Series, error) {
+	var out []Series
+	for _, fam := range []topology.Family{topology.MS, topology.RR, topology.RIS} {
+		s, err := superCayleySeries(fam, func(l, n int) (float64, error) {
+			if v, ok := topology.PaperDiameterBound(fam, l, n); ok {
+				return float64(v), nil
+			}
+			v, err := topology.DiameterUpperBoundFormula(fam, l, n)
+			return float64(v), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	out = append(out, starSeries(func(k int) float64 { return float64(3 * (k - 1) / 2) }))
+	for _, fam := range []string{"hypercube", "torus2d", "torus3d"} {
+		s, err := baselineSeries(fam, func(b *topology.Baseline) float64 { return float64(b.Diameter) })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig6Cost regenerates Figure 6: degree × diameter versus log₂N.
+func Fig6Cost() ([]Series, error) {
+	var out []Series
+	for _, fam := range []topology.Family{topology.MS, topology.RR} {
+		s, err := superCayleySeries(fam, func(l, n int) (float64, error) {
+			deg, err := topology.DegreeFormula(fam, l, n)
+			if err != nil {
+				return 0, err
+			}
+			var diam int
+			if v, ok := topology.PaperDiameterBound(fam, l, n); ok {
+				diam = v
+			} else {
+				diam, err = topology.DiameterUpperBoundFormula(fam, l, n)
+				if err != nil {
+					return 0, err
+				}
+			}
+			return float64(metrics.DegreeDiameterCost(deg, diam)), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	out = append(out, starSeries(func(k int) float64 {
+		return float64((k - 1) * (3 * (k - 1) / 2))
+	}))
+	for _, fam := range []string{"hypercube", "torus2d", "torus3d"} {
+		s, err := baselineSeries(fam, func(b *topology.Baseline) float64 {
+			return float64(b.Degree * b.Diameter)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ExactDiameterOverlay computes exact BFS diameters for every super Cayley
+// paper-parameter instance with k <= maxK (the measured points that validate
+// the Figure 5 bound curves).
+func ExactDiameterOverlay(maxK int) ([]Series, error) {
+	var out []Series
+	for _, fam := range []topology.Family{topology.MS, topology.RR, topology.RIS} {
+		s := Series{Name: fam.String() + " (exact)"}
+		for _, p := range paperParams {
+			k := p.L*p.N + 1
+			if k > maxK {
+				continue
+			}
+			nw, err := topology.New(fam, p.L, p.N)
+			if err != nil {
+				return nil, err
+			}
+			d, err := nw.Graph().Diameter()
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{
+				Log2N: log2Factorial(k),
+				Value: float64(d),
+				Label: nw.Name(),
+			})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RenderSeries renders curves as an aligned text table, one row per point,
+// sorted by x within each series — the textual stand-in for the paper's
+// plots.
+func RenderSeries(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for _, s := range series {
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Log2N < pts[j].Log2N })
+		fmt.Fprintf(&b, "\n[%s]\n", s.Name)
+		fmt.Fprintf(&b, "  %-18s %10s %10s\n", "instance", "log2(N)", "value")
+		for _, p := range pts {
+			fmt.Fprintf(&b, "  %-18s %10.2f %10.1f\n", p.Label, p.Log2N, p.Value)
+		}
+	}
+	return b.String()
+}

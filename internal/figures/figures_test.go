@@ -1,0 +1,282 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestFig4Shape(t *testing.T) {
+	series, err := Fig4Degrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Errorf("series %s empty", s.Name)
+		}
+		byName[s.Name] = s
+	}
+	for _, want := range []string{"MS", "RR", "star", "hypercube", "torus2d", "torus3d"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("missing series %s", want)
+		}
+	}
+	// Headline of Figure 4: at comparable sizes the MS/RR degree sits far
+	// below star and hypercube degree. Compare at the largest super-Cayley
+	// point, N = 10! (log2N ≈ 21.8).
+	msLast := byName["MS"].Points[len(byName["MS"].Points)-1]
+	if msLast.Value != 5 { // MS(3,3): n + l - 1 = 5
+		t.Errorf("MS(3,3) degree point = %v, want 5", msLast.Value)
+	}
+	for _, p := range byName["hypercube"].Points {
+		if math.Abs(p.Log2N-22) < 1.5 && p.Value <= msLast.Value {
+			t.Errorf("hypercube degree %v at log2N=%v not above MS(3,3) degree", p.Value, p.Log2N)
+		}
+	}
+	// Star degree grows with k; at k=10 it is 9 > 5.
+	for _, p := range byName["star"].Points {
+		if p.Label == "star(10)" && p.Value != 9 {
+			t.Errorf("star(10) degree %v", p.Value)
+		}
+	}
+	// Tori have constant degree.
+	for _, fam := range []string{"torus2d", "torus3d"} {
+		first := byName[fam].Points[0].Value
+		for _, p := range byName[fam].Points {
+			if p.Value != first {
+				t.Errorf("%s degree not constant: %v vs %v", fam, p.Value, first)
+			}
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	series, err := Fig5Diameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	// Figure 5's headline: torus diameters dwarf everything at large N;
+	// star/MS/RR stay sub-logarithmic-ish. Compare at the largest points.
+	t2 := byName["torus2d"].Points
+	ms := byName["MS"].Points
+	if t2[len(t2)-1].Value <= ms[len(ms)-1].Value {
+		t.Errorf("2-D torus diameter %v not above MS bound %v at large N",
+			t2[len(t2)-1].Value, ms[len(ms)-1].Value)
+	}
+	// Hypercube diameter = log2 N exactly.
+	for _, p := range byName["hypercube"].Points {
+		if math.Abs(p.Value-p.Log2N) > 1e-9 {
+			t.Errorf("hypercube diameter %v != log2N %v", p.Value, p.Log2N)
+		}
+	}
+	// RIS curve exists with 4 points.
+	if len(byName["RIS"].Points) != 4 {
+		t.Errorf("RIS series has %d points", len(byName["RIS"].Points))
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	series, err := Fig6Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	// Degree×diameter: super Cayley networks must beat the 2-D torus at
+	// large sizes (Fig. 6) — torus cost grows like √N.
+	ms := byName["MS"].Points[len(byName["MS"].Points)-1]
+	for _, p := range byName["torus2d"].Points {
+		if p.Log2N >= 20 && p.Value <= ms.Value {
+			t.Errorf("torus2d cost %v at log2N=%v not above MS(3,3) cost %v", p.Value, p.Log2N, ms.Value)
+		}
+	}
+	// Cost values are consistent with Fig4 × Fig5 for the star series.
+	f4, err := Fig4Degrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := Fig5Diameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := map[string]float64{}
+	for _, s := range f4 {
+		if s.Name == "star" {
+			for _, p := range s.Points {
+				deg[p.Label] = p.Value
+			}
+		}
+	}
+	diam := map[string]float64{}
+	for _, s := range f5 {
+		if s.Name == "star" {
+			for _, p := range s.Points {
+				diam[p.Label] = p.Value
+			}
+		}
+	}
+	for _, s := range series {
+		if s.Name != "star" {
+			continue
+		}
+		for _, p := range s.Points {
+			if want := deg[p.Label] * diam[p.Label]; math.Abs(p.Value-want) > 1e-9 {
+				t.Errorf("%s cost %v != degree×diameter %v", p.Label, p.Value, want)
+			}
+		}
+	}
+}
+
+// TestExactDiameterOverlayBelowBounds: measured diameters must sit at or
+// below the plotted bound curves.
+func TestExactDiameterOverlayBelowBounds(t *testing.T) {
+	exact, err := ExactDiameterOverlay(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := Fig5Diameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundOf := map[string]float64{}
+	for _, s := range bounds {
+		for _, p := range s.Points {
+			boundOf[p.Label] = p.Value
+		}
+	}
+	found := 0
+	for _, s := range exact {
+		for _, p := range s.Points {
+			ub, ok := boundOf[p.Label]
+			if !ok {
+				t.Errorf("no bound point for %s", p.Label)
+				continue
+			}
+			if p.Value > ub {
+				t.Errorf("%s: exact %v above bound %v", p.Label, p.Value, ub)
+			}
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("overlay produced no measured points")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	get := func(name string) Table1Row {
+		for _, r := range rows {
+			if r.Network == name {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return Table1Row{}
+	}
+	// Asymptotic ordering: rotator-based 1 < star-based 1.25 < star 1.5 < ∞.
+	if !(get("MR").AlphaLimit < get("MS").AlphaLimit && get("MS").AlphaLimit < get("star").AlphaLimit) {
+		t.Error("alpha limit ordering broken")
+	}
+	if !math.IsInf(get("hypercube").AlphaLimit, 1) {
+		t.Error("hypercube alpha should diverge")
+	}
+	// Measured alphas exist for permutation families at maxK=7 and exceed
+	// 1 (no network beats the Moore bound).
+	for _, name := range []string{"star", "MS", "MR", "complete-RR"} {
+		r := get(name)
+		if math.IsNaN(r.MeasuredAlpha) {
+			t.Errorf("%s: no measured alpha", name)
+			continue
+		}
+		if r.MeasuredAlpha < 1 {
+			t.Errorf("%s: measured alpha %v < 1 (beats Moore bound?)", name, r.MeasuredAlpha)
+		}
+	}
+	// Rendering includes every row.
+	text := RenderTable1(rows)
+	for _, r := range rows {
+		if !strings.Contains(text, r.Network) {
+			t.Errorf("rendered table missing %s", r.Network)
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	s := []Series{{Name: "demo", Points: []Point{{Log2N: 3, Value: 2, Label: "b"}, {Log2N: 1, Value: 5, Label: "a"}}}}
+	text := RenderSeries("Figure X", s)
+	if !strings.Contains(text, "Figure X") || !strings.Contains(text, "demo") {
+		t.Fatal("render missing parts")
+	}
+	// Sorted by x: "a" line appears before "b".
+	if strings.Index(text, " a ") > strings.Index(text, " b ") {
+		t.Error("points not sorted by log2N")
+	}
+}
+
+func TestLog2Factorial(t *testing.T) {
+	if math.Abs(log2Factorial(10)-math.Log2(3628800)) > 1e-9 {
+		t.Error("log2Factorial(10)")
+	}
+	if log2Factorial(1) != 0 {
+		t.Error("log2Factorial(1)")
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	f, err := familyByName("complete-RIS")
+	if err != nil || f != topology.CompleteRIS {
+		t.Errorf("familyByName: %v %v", f, err)
+	}
+	if _, err := familyByName("nope"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	series, err := Fig4Degrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderASCII("Figure 4", series, 60, 20, false)
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "Figure 4") {
+		t.Fatal("ASCII render missing parts")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 22 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+	// Log-scaled variant for Figure 5 (torus values dwarf the rest).
+	f5, err := Fig5Diameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = RenderASCII("Figure 5", f5, 0, 0, true)
+	if !strings.Contains(out, "log-scaled") {
+		t.Fatal("log scale note missing")
+	}
+	// Degenerate inputs do not panic.
+	if got := RenderASCII("empty", nil, 10, 5, false); !strings.Contains(got, "no data") {
+		t.Fatal("empty render")
+	}
+	one := []Series{{Name: "p", Points: []Point{{Log2N: 3, Value: 7}}}}
+	if RenderASCII("one", one, 10, 5, false) == "" {
+		t.Fatal("single point render")
+	}
+}

@@ -1,0 +1,110 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// GrowthRow records the exact diameter and average distance of one family
+// at one size — a row of the sublogarithmic-growth table that underlies the
+// paper's "both of which are sub-logarithmic" remarks.
+type GrowthRow struct {
+	Network  string
+	K        int
+	Nodes    int64
+	Degree   int
+	Diameter int
+	AvgDist  float64
+	Log2N    float64
+}
+
+// DiameterGrowthTable measures the exact diameter of each family at every
+// enumerable size up to maxK, choosing for super Cayley families the most
+// balanced (l,n) split of each k (Theorem 4.4's optimum). Only sizes with
+// at least two boxes are reported for the super families.
+func DiameterGrowthTable(maxK int, fams []topology.Family) ([]GrowthRow, error) {
+	if maxK > 10 {
+		return nil, fmt.Errorf("figures: DiameterGrowthTable: maxK %d exceeds BFS reach", maxK)
+	}
+	var rows []GrowthRow
+	for _, fam := range fams {
+		for k := 4; k <= maxK; k++ {
+			var nw *topology.Network
+			var err error
+			switch fam {
+			case topology.Star:
+				nw, err = topology.NewStar(k)
+			case topology.Rotator:
+				nw, err = topology.NewRotator(k)
+			case topology.IS:
+				nw, err = topology.NewIS(k)
+			default:
+				l, n, ok := balancedSplit(k)
+				if !ok {
+					continue
+				}
+				nw, err = topology.New(fam, l, n)
+			}
+			if err != nil {
+				return nil, err
+			}
+			d, err := nw.Graph().Diameter()
+			if err != nil {
+				return nil, err
+			}
+			avg, err := nw.Graph().AverageDistance()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, GrowthRow{
+				Network:  nw.Name(),
+				K:        k,
+				Nodes:    nw.Nodes(),
+				Degree:   nw.Degree(),
+				Diameter: d,
+				AvgDist:  avg,
+				Log2N:    log2Factorial(k),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// balancedSplit picks the (l,n) with l,n >= 2, nl = k-1, minimizing |l-n|;
+// ok is false when k-1 has no such factorization.
+func balancedSplit(k int) (l, n int, ok bool) {
+	target := k - 1
+	bestGap := 1 << 30
+	for ll := 2; ll <= target/2; ll++ {
+		if target%ll != 0 {
+			continue
+		}
+		nn := target / ll
+		if nn < 1 {
+			continue
+		}
+		gap := ll - nn
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap < bestGap {
+			bestGap, l, n, ok = gap, ll, nn, true
+		}
+	}
+	return l, n, ok
+}
+
+// RenderGrowthTable renders the growth table grouped by family.
+func RenderGrowthTable(rows []GrowthRow) string {
+	var b strings.Builder
+	title := "Exact diameter growth (balanced instances, BFS)"
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&b, "%-20s %3s %9s %7s %9s %9s %8s\n", "network", "k", "N", "degree", "diameter", "avg dist", "log2(N)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %3d %9d %7d %9d %9.3f %8.2f\n",
+			r.Network, r.K, r.Nodes, r.Degree, r.Diameter, r.AvgDist, r.Log2N)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDiameterGrowthTable(t *testing.T) {
+	rows, err := DiameterGrowthTable(7, []topology.Family{topology.Star, topology.MS, topology.MR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	byNet := map[string][]GrowthRow{}
+	for _, r := range rows {
+		if r.Diameter < 1 || r.AvgDist <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Network, r)
+		}
+		fam := r.Network[:2]
+		byNet[fam] = append(byNet[fam], r)
+	}
+	// Star diameters match ⌊3(k-1)/2⌋ at every k.
+	for _, r := range rows {
+		if strings.HasPrefix(r.Network, "star") {
+			if want := 3 * (r.K - 1) / 2; r.Diameter != want {
+				t.Errorf("star(%d) diameter %d, want %d", r.K, r.Diameter, want)
+			}
+		}
+	}
+	// Super Cayley rows only exist when k-1 factors with l,n >= 2: k = 5, 7
+	// in range (k-1 = 4, 6).
+	msCount := 0
+	for _, r := range rows {
+		if strings.HasPrefix(r.Network, "MS(") {
+			msCount++
+		}
+	}
+	if msCount != 2 {
+		t.Errorf("MS rows %d, want 2 (k=5,7)", msCount)
+	}
+	if RenderGrowthTable(rows) == "" {
+		t.Error("empty rendering")
+	}
+	if _, err := DiameterGrowthTable(11, nil); err == nil {
+		t.Error("maxK=11 accepted")
+	}
+}
+
+func TestBalancedSplit(t *testing.T) {
+	cases := []struct {
+		k, l, n int
+		ok      bool
+	}{
+		{5, 2, 2, true},  // 4 = 2x2
+		{7, 2, 3, true},  // 6 = 2x3 (l=2,n=3 or 3,2; gap 1 either way)
+		{10, 3, 3, true}, // 9 = 3x3
+		{4, 0, 0, false}, // 3 prime
+		{6, 0, 0, false}, // 5 prime
+	}
+	for _, c := range cases {
+		l, n, ok := balancedSplit(c.k)
+		if ok != c.ok {
+			t.Errorf("k=%d ok=%v", c.k, ok)
+			continue
+		}
+		if ok && l*n != c.k-1 {
+			t.Errorf("k=%d split %dx%d", c.k, l, n)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// starSet returns the generator set of a k-star: T_2..T_k.
+func starSet(t *testing.T, k int) *Set {
+	t.Helper()
+	gens := make([]Generator, 0, k-1)
+	for i := 2; i <= k; i++ {
+		gens = append(gens, NewTransposition(i))
+	}
+	return MustSet(k, gens...)
+}
+
+func TestSetBasics(t *testing.T) {
+	s := starSet(t, 5)
+	if s.K() != 5 || s.Len() != 4 {
+		t.Fatalf("K=%d Len=%d", s.K(), s.Len())
+	}
+	if got := s.String(); got != "{T2, T3, T4, T5}" {
+		t.Fatalf("String = %q", got)
+	}
+	if s.NucleusCount() != 4 || s.SuperCount() != 0 {
+		t.Fatalf("counts: nucleus=%d super=%d", s.NucleusCount(), s.SuperCount())
+	}
+}
+
+func TestSetValidation(t *testing.T) {
+	if _, err := NewSet(1, NewTransposition(2)); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := NewSet(5); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := NewSet(3, NewTransposition(5)); err == nil {
+		t.Error("T5 on k=3 accepted")
+	}
+	if _, err := NewSet(6, NewRotation(1, 2)); err == nil {
+		t.Error("rotation with k-1 not divisible by n accepted")
+	}
+	if _, err := NewSet(7, NewRotation(1, 2)); err != nil {
+		t.Errorf("valid rotation rejected: %v", err)
+	}
+}
+
+func TestMacroStarSetCounts(t *testing.T) {
+	// MS(3,2): k=7, nucleus T2..T3 (n=2 transpositions) + swaps S2,S3.
+	s := MustSet(7,
+		NewTransposition(2), NewTransposition(3),
+		NewSwap(2, 2), NewSwap(3, 2))
+	if s.NucleusCount() != 2 {
+		t.Errorf("nucleus count = %d", s.NucleusCount())
+	}
+	if s.SuperCount() != 2 {
+		t.Errorf("super count = %d (intercluster degree)", s.SuperCount())
+	}
+	if !s.IsInverseClosed() {
+		t.Error("MS set should be inverse-closed (undirected graph)")
+	}
+}
+
+func TestInverseClosure(t *testing.T) {
+	// Rotator-style set {I2, I3, I4} is NOT inverse-closed (directed graph).
+	dir := MustSet(4, NewInsertion(2), NewInsertion(3), NewInsertion(4))
+	if dir.IsInverseClosed() {
+		t.Error("insertion-only set reported inverse-closed")
+	}
+	// IS set {I2..I4, I2'..I4'} is inverse-closed.
+	undir := MustSet(4,
+		NewInsertion(2), NewInsertion(3), NewInsertion(4),
+		NewSelection(2), NewSelection(3), NewSelection(4))
+	if !undir.IsInverseClosed() {
+		t.Error("IS set should be inverse-closed")
+	}
+	// RS set with rotation pair R^1, R^{l-1} is inverse-closed.
+	rs := MustSet(7,
+		NewTransposition(2), NewTransposition(3),
+		NewRotation(1, 2), NewRotation(2, 2))
+	if !rs.IsInverseClosed() {
+		t.Error("RS set with R and R^-1 should be inverse-closed")
+	}
+	// Single rotation R^1 with l=3 is not.
+	rr := MustSet(7, NewInsertion(2), NewInsertion(3), NewRotation(1, 2))
+	if rr.IsInverseClosed() {
+		t.Error("RR set with single rotation reported inverse-closed")
+	}
+}
+
+func TestGeneratesStarGraph(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		if !starSet(t, k).Generates() {
+			t.Errorf("%d-star generators do not generate S_%d", k, k)
+		}
+	}
+}
+
+func TestGeneratesMacroStar(t *testing.T) {
+	// MS(2,2): k=5, T2,T3 + S2.
+	s := MustSet(5, NewTransposition(2), NewTransposition(3), NewSwap(2, 2))
+	if !s.Generates() {
+		t.Error("MS(2,2) generators do not generate S_5")
+	}
+	// MS(3,2): k=7.
+	s2 := MustSet(7,
+		NewTransposition(2), NewTransposition(3),
+		NewSwap(2, 2), NewSwap(3, 2))
+	if !s2.Generates() {
+		t.Error("MS(3,2) generators do not generate S_7")
+	}
+}
+
+func TestDoesNotGenerate(t *testing.T) {
+	// A single transposition generates only a 2-element subgroup.
+	s := MustSet(4, NewTransposition(2))
+	if s.Generates() {
+		t.Error("single transposition reported as generating S_4")
+	}
+	// Swaps alone never touch position 1: cannot generate S_k.
+	s2 := MustSet(5, NewSwap(2, 2))
+	if s2.Generates() {
+		t.Error("swap-only set reported as generating S_5")
+	}
+}
+
+func TestTransitiveOnPositionsLargeK(t *testing.T) {
+	// k = 11 forces the large-k path: MIS(2,5)-style set.
+	gens := []Generator{}
+	for i := 2; i <= 6; i++ {
+		gens = append(gens, NewInsertion(i), NewSelection(i))
+	}
+	gens = append(gens, NewSwap(2, 5))
+	s := MustSet(11, gens...)
+	if !s.Generates() {
+		t.Error("MIS(2,5) set not transitive on positions")
+	}
+	// Swap-only set at large k is not transitive (misses nothing? it fixes
+	// position 1), so it must report false.
+	s2 := MustSet(11, NewSwap(2, 5))
+	if s2.Generates() {
+		t.Error("swap-only set transitive at k=11")
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	s := MustSet(7,
+		NewTransposition(2), NewTransposition(3),
+		NewSwap(2, 2), NewSwap(3, 2))
+	if got := s.IndexOf(NewSwap(3, 2)); got != 3 {
+		t.Errorf("IndexOf(S3) = %d", got)
+	}
+	if got := s.IndexOf(NewTransposition(7)); got != -1 {
+		t.Errorf("IndexOf(T7) = %d, want -1", got)
+	}
+	// I2 acts identically to T2; IndexOf matches by action.
+	if got := s.IndexOf(NewInsertion(2)); got != 0 {
+		t.Errorf("IndexOf(I2) = %d, want 0 (same action as T2)", got)
+	}
+}
+
+func TestPermsMatchGenerators(t *testing.T) {
+	s := MustSet(7,
+		NewTransposition(2), NewInsertion(4),
+		NewSwap(2, 2), NewRotation(1, 2))
+	perms := s.Perms()
+	p := perm.Random(7, perm.NewRNG(9))
+	for i := range perms {
+		if !s.At(i).ApplyTo(p).Equal(p.Compose(perms[i])) {
+			t.Errorf("generator %d: Perms mismatch", i)
+		}
+	}
+}
+
+func TestNamesAndGeneratorsCopy(t *testing.T) {
+	s := MustSet(5, NewTransposition(2), NewSwap(2, 2))
+	names := s.Names()
+	if names[0] != "T2" || names[1] != "S2" {
+		t.Fatalf("Names = %v", names)
+	}
+	gens := s.Generators()
+	gens[0] = NewTransposition(3)
+	if s.At(0).Name() != "T2" {
+		t.Error("Generators() exposed internal slice")
+	}
+}

@@ -1,0 +1,384 @@
+package ipg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bag"
+	"repro/internal/gen"
+	"repro/internal/perm"
+)
+
+func TestSignatureBasics(t *testing.T) {
+	sig, err := NewSignature([]int{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.K() != 5 || sig.Symbols() != 3 {
+		t.Fatalf("K=%d symbols=%d", sig.K(), sig.Symbols())
+	}
+	order, err := sig.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != 30 { // 5!/(2!·2!·1!)
+		t.Fatalf("order = %d, want 30", order)
+	}
+	if sig.Sorted().String() != "11223" {
+		t.Fatalf("Sorted = %v", sig.Sorted())
+	}
+	if _, err := NewSignature(nil); err == nil {
+		t.Error("empty signature accepted")
+	}
+	if _, err := NewSignature([]int{2, 0}); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	sig, _ := NewSignature([]int{2, 1})
+	if err := sig.Validate(Label{1, 2, 1}); err != nil {
+		t.Errorf("valid label rejected: %v", err)
+	}
+	for _, bad := range []Label{{1, 1, 1}, {1, 2}, {1, 2, 3}, {0, 1, 2}} {
+		if err := sig.Validate(bad); err == nil {
+			t.Errorf("invalid label %v accepted", bad)
+		}
+	}
+}
+
+func TestRankUnrankExhaustive(t *testing.T) {
+	sigs := [][]int{{2, 1}, {2, 2}, {3, 2}, {1, 1, 1}, {2, 2, 1}, {2, 2, 2, 1}}
+	for _, counts := range sigs {
+		sig, err := NewSignature(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := sig.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev Label
+		for r := int64(0); r < order; r++ {
+			l, err := sig.Unrank(r)
+			if err != nil {
+				t.Fatalf("%v rank %d: %v", counts, r, err)
+			}
+			if err := sig.Validate(l); err != nil {
+				t.Fatalf("%v rank %d invalid: %v", counts, r, err)
+			}
+			got, err := sig.Rank(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != r {
+				t.Fatalf("%v: Rank(Unrank(%d)) = %d", counts, r, got)
+			}
+			if prev != nil && !lexLess(prev, l) {
+				t.Fatalf("%v: not lexicographic at %d: %v !< %v", counts, r, prev, l)
+			}
+			prev = l
+		}
+		if _, err := sig.Unrank(order); err == nil {
+			t.Errorf("%v: rank out of range accepted", counts)
+		}
+	}
+}
+
+func lexLess(a, b Label) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestApplyMatchesPermutationAction(t *testing.T) {
+	// Applying a generator to a label with distinct symbols must match the
+	// perm-level action.
+	sig, _ := NewSignature([]int{1, 1, 1, 1, 1})
+	rng := perm.NewRNG(3)
+	gens := []gen.Generator{
+		gen.NewTransposition(3), gen.NewInsertion(4),
+		gen.NewSelection(5), gen.NewSwap(2, 2), gen.NewRotation(1, 2),
+	}
+	for trial := 0; trial < 30; trial++ {
+		p := perm.Random(5, rng)
+		l := Label(append([]int(nil), p...))
+		if err := sig.Validate(l); err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range gens {
+			want := g.ApplyTo(p)
+			got := l.Clone()
+			Apply(g, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: %v vs %v", g, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSIPSignatureAndGoal(t *testing.T) {
+	sig, err := SIPSignature(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := sig.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != 630 { // 7!/(2!·2!·2!·1!)
+		t.Fatalf("SIP(3,2) order = %d, want 630", order)
+	}
+	goal := SIPGoal(3, 2)
+	if goal.String() != "4112233" {
+		t.Fatalf("goal = %v", goal)
+	}
+	if err := sig.Validate(goal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SIPSignature(0, 2); err == nil {
+		t.Error("l=0 accepted")
+	}
+}
+
+func sipRules(l, n int, nu bag.NucleusStyle, su bag.SuperStyle) bag.Rules {
+	return bag.Rules{Layout: bag.MustLayout(l, n), Nucleus: nu, Super: su}
+}
+
+// TestSolveExhaustive solves every SIP(l,n) state under every rule style.
+func TestSolveExhaustive(t *testing.T) {
+	for _, ln := range []struct{ l, n int }{{2, 2}, {3, 2}, {2, 3}} {
+		sig, err := SIPSignature(ln.l, ln.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := sig.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nu := range []bag.NucleusStyle{bag.TranspositionNucleus, bag.InsertionNucleus} {
+			for _, su := range []bag.SuperStyle{bag.SwapSuper, bag.RotSingleSuper, bag.RotPairSuper, bag.RotCompleteSuper} {
+				rules := sipRules(ln.l, ln.n, nu, su)
+				maxLen := 0
+				for r := int64(0); r < order; r++ {
+					u, err := sig.Unrank(r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					moves, err := Solve(rules, u)
+					if err != nil {
+						t.Fatalf("(%d,%d) %v/%v state %v: %v", ln.l, ln.n, nu, su, u, err)
+					}
+					if err := Verify(rules, u, moves); err != nil {
+						t.Fatalf("(%d,%d) %v/%v: %v", ln.l, ln.n, nu, su, err)
+					}
+					if len(moves) > maxLen {
+						maxLen = len(moves)
+					}
+				}
+				// SIP solutions must never exceed the super Cayley bound for
+				// the same rules (fewer constraints to satisfy).
+				if bound := bag.WorstCaseBound(rules); maxLen > bound {
+					t.Errorf("(%d,%d) %v/%v: worst %d exceeds Cayley bound %d", ln.l, ln.n, nu, su, maxLen, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveGoalIsEmpty(t *testing.T) {
+	rules := sipRules(3, 2, bag.TranspositionNucleus, bag.SwapSuper)
+	moves, err := Solve(rules, SIPGoal(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("goal solved with %d moves", len(moves))
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	rules := sipRules(3, 2, bag.TranspositionNucleus, bag.SwapSuper)
+	if _, err := Solve(rules, Label{1, 2, 3}); err == nil {
+		t.Error("wrong-size label accepted")
+	}
+	if _, err := Solve(bag.Rules{Layout: bag.MustLayout(3, 2)}, nil); err == nil {
+		t.Error("nil label accepted")
+	}
+}
+
+// TestGraphQuotientDiameter: the index-permutation graph is a quotient of
+// the super Cayley graph with the same generators, so its diameter cannot
+// exceed the Cayley diameter (13 for MS(3,2)).
+func TestGraphQuotientDiameter(t *testing.T) {
+	rules := sipRules(3, 2, bag.TranspositionNucleus, bag.SwapSuper)
+	g, err := NewSIP(3, 2, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 13 {
+		t.Errorf("SIP(3,2) diameter %d exceeds MS(3,2) diameter 13", d)
+	}
+	if d < 1 {
+		t.Errorf("degenerate diameter %d", d)
+	}
+	t.Logf("SIP(3,2) swap/transposition: N=630, exact diameter %d (MS(3,2): 13)", d)
+}
+
+func TestGraphValidation(t *testing.T) {
+	sig, _ := NewSignature([]int{2, 2, 1})
+	if _, err := NewGraph("x", sig, nil); err == nil {
+		t.Error("no generators accepted")
+	}
+	if _, err := NewGraph("x", sig, []gen.Generator{gen.NewTransposition(9)}); err == nil {
+		t.Error("oversized generator accepted")
+	}
+	// Duplicate actions are deduped.
+	g, err := NewGraph("x", sig, []gen.Generator{gen.NewInsertion(2), gen.NewSelection(2), gen.NewTransposition(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree() != 1 {
+		t.Errorf("degree %d after dedupe, want 1", g.Degree())
+	}
+	if _, err := NewSIP(3, 2, sipRules(2, 2, bag.TranspositionNucleus, bag.SwapSuper)); err == nil {
+		t.Error("mismatched rules accepted")
+	}
+}
+
+func TestBFSSolveConsistency(t *testing.T) {
+	// Solver path lengths are upper bounds on BFS distances in the quotient.
+	rules := sipRules(3, 2, bag.TranspositionNucleus, bag.RotCompleteSuper)
+	g, err := NewSIP(3, 2, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS from the goal gives distances *to* each state in the reverse
+	// graph; the graph is not symmetric for insertion styles but is for
+	// transposition+rotation-complete... rotations are not self-inverse, so
+	// measure distances from each sampled state instead.
+	sig := g.Signature()
+	order, err := sig.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := SIPGoal(3, 2)
+	goalRank, err := sig.Rank(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r < order; r += 37 {
+		u, err := sig.Unrank(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.BFS(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := res.Dist[goalRank]
+		if exact < 0 {
+			t.Fatalf("goal unreachable from %v", u)
+		}
+		moves, err := Solve(rules, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) < int(exact) {
+			t.Fatalf("solver %d moves below exact %d for %v", len(moves), exact, u)
+		}
+	}
+}
+
+func TestQuickRankRoundTrip(t *testing.T) {
+	sig, _ := NewSignature([]int{3, 2, 2, 1})
+	order, _ := sig.Order()
+	f := func(seed uint64) bool {
+		r := int64(perm.NewRNG(seed).Intn(int(order)))
+		l, err := sig.Unrank(r)
+		if err != nil {
+			return false
+		}
+		got, err := sig.Rank(l)
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSIPRankUnrank(b *testing.B) {
+	sig, err := SIPSignature(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order, err := sig.Order()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l, err := sig.Unrank(int64(i) % order)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sig.Rank(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSIPSolve(b *testing.B) {
+	rules := sipRules(4, 3, bag.TranspositionNucleus, bag.SwapSuper)
+	sig, err := SIPSignature(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order, err := sig.Order()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := perm.NewRNG(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, err := sig.Unrank(int64(rng.Intn(int(order))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Solve(rules, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestQuickApplyPreservesSignature(t *testing.T) {
+	sig, err := SIPSignature(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, _ := sig.Order()
+	rules := sipRules(3, 2, bag.InsertionNucleus, bag.RotCompleteSuper)
+	gens := rules.Generators()
+	f := func(seed uint64) bool {
+		rng := perm.NewRNG(seed)
+		l, err := sig.Unrank(int64(rng.Intn(int(order))))
+		if err != nil {
+			return false
+		}
+		g := gens[rng.Intn(len(gens))]
+		Apply(g, l)
+		return sig.Validate(l) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package metrics implements the cost measures of §4: the universal
+// diameter lower bound D_L(N,d) (equation 2), the asymptotic
+// diameter-to-lower-bound ratio α (§4.2), the Moore-type average-distance
+// lower bound, the degree×diameter cost of Figure 6, and the intercluster
+// lower bounds behind Theorem 4.8.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// DL returns the universal lower bound on the diameter of a static
+// undirected interconnection network with N nodes and degree d >= 3
+// (equation 2):
+//
+//	D_L(N,d) = log_{d-1} N + log_{d-1}(1 - 2/d)
+//
+// The bound follows from Moore counting: at most d(d-1)^{r-1} nodes sit at
+// distance r from any node.
+func DL(n float64, d int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("metrics: DL: N=%v must be >= 1", n)
+	}
+	if d < 3 {
+		return 0, fmt.Errorf("metrics: DL: degree %d must be >= 3", d)
+	}
+	base := math.Log(float64(d - 1))
+	return math.Log(n)/base + math.Log(1-2/float64(d))/base, nil
+}
+
+// DLDirected returns the universal lower bound on the diameter of a
+// directed network with N nodes and out-degree d >= 2: Moore counting
+// reaches at most d^r new nodes at distance r, so D >= log_d(N(d-1)+1) - 1
+// >= log_d N - 1; we use the exact geometric form.
+func DLDirected(n float64, d int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("metrics: DLDirected: N=%v must be >= 1", n)
+	}
+	if d < 2 {
+		return 0, fmt.Errorf("metrics: DLDirected: out-degree %d must be >= 2", d)
+	}
+	// 1 + d + d^2 + ... + d^D >= N  =>  D >= log_d(N(d-1)+1) - 1.
+	return math.Log(n*float64(d-1)+1)/math.Log(float64(d)) - 1, nil
+}
+
+// Alpha returns the diameter-to-lower-bound ratio α = D / D_L(N,d) for a
+// network with diameter D, size N, and degree d (§4.2). The paper's Table 1
+// reports the N→∞ limit of this quantity.
+func Alpha(diameter int, n float64, d int) (float64, error) {
+	dl, err := DL(n, d)
+	if err != nil {
+		return 0, err
+	}
+	if dl <= 0 {
+		return 0, fmt.Errorf("metrics: Alpha: non-positive lower bound %v", dl)
+	}
+	return float64(diameter) / dl, nil
+}
+
+// MooreReach returns the maximum number of nodes within distance r of a
+// node in a degree-d undirected graph: 1 + d + d(d-1) + ... + d(d-1)^{r-1}.
+// It saturates at math.MaxFloat64 rather than overflowing.
+func MooreReach(d, r int) float64 {
+	if r < 0 || d < 1 {
+		return 1
+	}
+	total := 1.0
+	layer := float64(d)
+	for i := 1; i <= r; i++ {
+		total += layer
+		layer *= float64(d - 1)
+		if total > math.MaxFloat64/2 {
+			return math.MaxFloat64
+		}
+	}
+	return total
+}
+
+// AvgDistanceLowerBound returns the smallest possible average distance of an
+// N-node degree-d undirected graph, obtained by packing nodes as close as
+// Moore counting allows: fill distance classes 1, 2, ... with d(d-1)^{r-1}
+// nodes until N-1 non-source nodes are placed.
+func AvgDistanceLowerBound(n float64, d int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("metrics: AvgDistanceLowerBound: N=%v must be >= 2", n)
+	}
+	if d < 2 {
+		return 0, fmt.Errorf("metrics: AvgDistanceLowerBound: degree %d must be >= 2", d)
+	}
+	remaining := n - 1
+	layer := float64(d)
+	sum := 0.0
+	r := 1
+	for remaining > 0 {
+		take := math.Min(layer, remaining)
+		sum += take * float64(r)
+		remaining -= take
+		layer *= float64(d - 1)
+		r++
+		if r > 1<<20 {
+			return 0, fmt.Errorf("metrics: AvgDistanceLowerBound: did not converge")
+		}
+	}
+	return sum / (n - 1), nil
+}
+
+// AvgDistanceLowerBoundDirected is the directed analogue of
+// AvgDistanceLowerBound: distance-r layers hold up to d^r nodes.
+func AvgDistanceLowerBoundDirected(n float64, d int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("metrics: AvgDistanceLowerBoundDirected: N=%v must be >= 2", n)
+	}
+	if d < 2 {
+		return 0, fmt.Errorf("metrics: AvgDistanceLowerBoundDirected: out-degree %d must be >= 2", d)
+	}
+	remaining := n - 1
+	layer := float64(d)
+	sum := 0.0
+	r := 1
+	for remaining > 0 {
+		take := math.Min(layer, remaining)
+		sum += take * float64(r)
+		remaining -= take
+		layer *= float64(d)
+		r++
+		if r > 1<<20 {
+			return 0, fmt.Errorf("metrics: AvgDistanceLowerBoundDirected: did not converge")
+		}
+	}
+	return sum / (n - 1), nil
+}
+
+// AlphaAvg returns the average-distance-to-lower-bound ratio used by
+// Theorem 4.7.
+func AlphaAvg(avg float64, n float64, d int) (float64, error) {
+	lb, err := AvgDistanceLowerBound(n, d)
+	if err != nil {
+		return 0, err
+	}
+	if lb <= 0 {
+		return 0, fmt.Errorf("metrics: AlphaAvg: non-positive lower bound")
+	}
+	return avg / lb, nil
+}
+
+// DegreeDiameterCost returns the degree×diameter product plotted in
+// Figure 6.
+func DegreeDiameterCost(degree, diameter int) int { return degree * diameter }
+
+// InterclusterDL returns a lower bound on the intercluster diameter of an
+// N-node network packaged as clusters of M nodes with intercluster degree
+// d_i (§4.3): with r intercluster hops a message can reach at most
+// M·(M·d_i)^r nodes, so any network needs at least
+//
+//	D_{L,inter} = log(N/M) / log(M·d_i)
+//
+// intercluster hops in the worst case.
+func InterclusterDL(n float64, m float64, di int) (float64, error) {
+	if n < 2 || m < 1 || di < 1 {
+		return 0, fmt.Errorf("metrics: InterclusterDL: invalid arguments N=%v M=%v di=%d", n, m, di)
+	}
+	if m >= n {
+		return 0, nil
+	}
+	denom := math.Log(m * float64(di))
+	if denom <= 0 {
+		// M·d_i = 1: a single chain of clusters; bound is N/M - 1 hops.
+		return n/m - 1, nil
+	}
+	return math.Log(n/m) / denom, nil
+}
+
+// InterclusterAvgLowerBound packs clusters greedily by Moore counting with
+// branching factor M·d_i and returns the minimum possible average
+// intercluster distance over all node pairs.
+func InterclusterAvgLowerBound(n float64, m float64, di int) (float64, error) {
+	if n < 2 || m < 1 || di < 1 {
+		return 0, fmt.Errorf("metrics: InterclusterAvgLowerBound: invalid arguments")
+	}
+	if m >= n {
+		return 0, nil
+	}
+	// Nodes at intercluster distance 0: own cluster (M). At distance r >= 1:
+	// at most M·(M·d_i)^r - already counted; take layer sizes
+	// M·(M·d_i)^{r-1}·(M·d_i - 1)... simplified geometric packing: layer r
+	// holds up to M·(M·d_i)^r - M·(M·d_i)^{r-1} new nodes.
+	b := m * float64(di)
+	if b <= 1 {
+		// Chain of clusters: average distance ~ (N/M)/2 scaled; compute
+		// directly: nodes at distance r: M each for r = 1..N/M-1.
+		clusters := n / m
+		sum := 0.0
+		for r := 1.0; r < clusters; r++ {
+			sum += r * m
+		}
+		return sum / (n - 1), nil
+	}
+	remaining := n - m
+	sum := 0.0
+	prevReach := m
+	r := 1
+	for remaining > 0 {
+		reach := m * math.Pow(b, float64(r))
+		layer := math.Min(reach-prevReach, remaining)
+		if layer < 0 {
+			layer = 0
+		}
+		sum += layer * float64(r)
+		remaining -= layer
+		prevReach = reach
+		r++
+		if r > 1<<20 {
+			return 0, fmt.Errorf("metrics: InterclusterAvgLowerBound: did not converge")
+		}
+	}
+	return sum / (n - 1), nil
+}
+
+// BisectionLowerBound returns the Theorem 4.9 lower bound on bisection
+// bandwidth:
+//
+//	BB >= w·N / (4·D̄_inter)
+//
+// where w is the average aggregate off-chip bandwidth per node and D̄_inter
+// the average intercluster distance with one nucleus per chip.
+func BisectionLowerBound(w float64, n float64, avgInter float64) (float64, error) {
+	if w <= 0 || n < 2 || avgInter <= 0 {
+		return 0, fmt.Errorf("metrics: BisectionLowerBound: invalid arguments w=%v N=%v D̄=%v", w, n, avgInter)
+	}
+	return w * n / (4 * avgInter), nil
+}

@@ -1,0 +1,42 @@
+package metrics
+
+import "fmt"
+
+// Pin-limited throughput model (§4.2): "the maximum throughput of a network
+// is inversely proportional to [diameter and average distance] for any
+// switching technology under the constraint of constant pin-outs". With a
+// per-node pin budget P, every node sources traffic that occupies, on
+// average, D̄ link-traversals; aggregate link capacity is N·P, so the
+// sustainable injection rate per node is bounded by P / D̄.
+
+// PinLimitedThroughput returns the maximum per-node injection rate (packets
+// per cycle, normalized to unit-capacity pins) of a network with per-node
+// pin budget `pins` and average distance avgDist.
+func PinLimitedThroughput(pins float64, avgDist float64) (float64, error) {
+	if pins <= 0 || avgDist <= 0 {
+		return 0, fmt.Errorf("metrics: PinLimitedThroughput: invalid pins=%v avgDist=%v", pins, avgDist)
+	}
+	return pins / avgDist, nil
+}
+
+// ThroughputComparison holds the normalized throughput of one network under
+// a shared pin budget.
+type ThroughputComparison struct {
+	Name       string
+	AvgDist    float64
+	Throughput float64
+}
+
+// CompareThroughput evaluates PinLimitedThroughput for several networks at
+// a common pin budget; callers pass measured (or bounded) average distances.
+func CompareThroughput(pins float64, entries map[string]float64) ([]ThroughputComparison, error) {
+	out := make([]ThroughputComparison, 0, len(entries))
+	for name, avg := range entries {
+		th, err := PinLimitedThroughput(pins, avg)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: CompareThroughput: %s: %v", name, err)
+		}
+		out = append(out, ThroughputComparison{Name: name, AvgDist: avg, Throughput: th})
+	}
+	return out, nil
+}

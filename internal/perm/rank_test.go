@@ -1,0 +1,207 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorial(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800}
+	for k, w := range want {
+		if got := Factorial(k); got != w {
+			t.Errorf("Factorial(%d) = %d, want %d", k, got, w)
+		}
+	}
+	if Factorial(20) != 2432902008176640000 {
+		t.Errorf("Factorial(20) = %d", Factorial(20))
+	}
+}
+
+func TestRankIdentityIsZero(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		if r := Identity(k).Rank(); r != 0 {
+			t.Errorf("Rank(Identity(%d)) = %d", k, r)
+		}
+	}
+}
+
+func TestRankUnrankBijectionExhaustive(t *testing.T) {
+	// Every rank for k <= 6 round-trips, and ranks are lexicographically
+	// monotone.
+	for k := 1; k <= 6; k++ {
+		n := Factorial(k)
+		var prev Perm
+		for r := int64(0); r < n; r++ {
+			p := Unrank(k, r)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Unrank(%d,%d) invalid: %v", k, r, err)
+			}
+			if got := p.Rank(); got != r {
+				t.Fatalf("Rank(Unrank(%d,%d)) = %d", k, r, got)
+			}
+			if prev != nil && !lexLess(prev, p) {
+				t.Fatalf("Unrank not lexicographic at k=%d r=%d: %v !< %v", k, r, prev, p)
+			}
+			prev = p
+		}
+	}
+}
+
+func lexLess(a, b Perm) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestRankUnrankRandomLargeK(t *testing.T) {
+	rng := NewRNG(11)
+	for k := 7; k <= 12; k++ {
+		for trial := 0; trial < 50; trial++ {
+			p := Random(k, rng)
+			if q := Unrank(k, p.Rank()); !q.Equal(p) {
+				t.Fatalf("k=%d round trip failed: %v -> %v", k, p, q)
+			}
+		}
+	}
+}
+
+func TestUnrankIntoMatchesUnrank(t *testing.T) {
+	rng := NewRNG(12)
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(10)
+		r := int64(rng.Intn(int(Factorial(k))))
+		want := Unrank(k, r)
+		dst := make(Perm, k)
+		scratch := make([]int, k)
+		UnrankInto(k, r, dst, scratch)
+		if !dst.Equal(want) {
+			t.Fatalf("UnrankInto(%d,%d) = %v, want %v", k, r, dst, want)
+		}
+	}
+}
+
+func TestUnrankPanics(t *testing.T) {
+	for _, c := range []struct {
+		k    int
+		rank int64
+	}{{0, 0}, {21, 0}, {3, -1}, {3, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Unrank(%d,%d) did not panic", c.k, c.rank)
+				}
+			}()
+			Unrank(c.k, c.rank)
+		}()
+	}
+}
+
+func TestQuickRankRoundTrip(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%12) + 1
+		p := Random(k, NewRNG(seed))
+		return Unrank(k, p.Rank()).Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 42/43 streams suspiciously similar: %d collisions", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for n := 1; n <= 20; n++ {
+		for trial := 0; trial < 200; trial++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRandomIsUniformish(t *testing.T) {
+	// Chi-squared-lite sanity: each of 3! = 6 permutations of k=3 should
+	// appear roughly 1/6 of the time.
+	r := NewRNG(99)
+	counts := make(map[string]int)
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		counts[Random(3, r).String()]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("only %d distinct permutations seen", len(counts))
+	}
+	for s, c := range counts {
+		if c < trials/6-300 || c > trials/6+300 {
+			t.Errorf("permutation %s count %d deviates from %d", s, c, trials/6)
+		}
+	}
+}
+
+func TestRandomEvenAlwaysEven(t *testing.T) {
+	r := NewRNG(5)
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + r.Intn(8)
+		if RandomEven(k, r).Sign() != 1 {
+			t.Fatal("RandomEven produced odd permutation")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(8)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	p := Random(10, NewRNG(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Rank()
+	}
+}
+
+func BenchmarkUnrankInto(b *testing.B) {
+	dst := make(Perm, 10)
+	scratch := make([]int, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		UnrankInto(10, int64(i)%Factorial(10), dst, scratch)
+	}
+}

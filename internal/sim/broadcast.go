@@ -1,0 +1,109 @@
+package sim
+
+import "fmt"
+
+// RunBroadcast simulates a multinode broadcast (MNB): every node owns one
+// message that must reach every other node. Messages flood: when a node
+// learns a message it schedules a copy on each outgoing link; receivers
+// discard duplicates. Each directed link carries one message per step
+// (all-port) and single-port nodes additionally send on only one link per
+// step. This is the task of [7, 29, 30] that §1 and §5 argue super Cayley
+// graphs execute asymptotically optimally.
+func RunBroadcast(topo Topology, model PortModel, maxSteps int) (*Result, error) {
+	n := topo.NumNodes()
+	deg := topo.Degree()
+	if n > 1<<13 {
+		return nil, fmt.Errorf("sim: RunBroadcast: N=%d too large for the O(N²) flood state", n)
+	}
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	nn := int(n)
+	// informed[msg*nn + node]
+	informed := make([]bool, nn*nn)
+	// queues[node][link] holds message ids awaiting transmission.
+	queues := make([][][]int32, n)
+	for i := range queues {
+		queues[i] = make([][]int32, deg)
+	}
+	res := &Result{}
+	remaining := int64(nn) * int64(nn-1) // informs still needed
+	learn := func(node int64, msg int32) {
+		if informed[int(msg)*nn+int(node)] {
+			return
+		}
+		informed[int(msg)*nn+int(node)] = true
+		if int64(msg) != node {
+			remaining--
+			res.Delivered++
+		}
+		for link := 0; link < deg; link++ {
+			queues[node][link] = append(queues[node][link], msg)
+			if l := len(queues[node][link]); l > res.MaxQueueLen {
+				res.MaxQueueLen = l
+			}
+		}
+	}
+	for v := int64(0); v < n; v++ {
+		learn(v, int32(v))
+	}
+	rot := make([]int, n)
+	type arrival struct {
+		node int64
+		msg  int32
+	}
+	var arrivals []arrival
+	for step := 0; remaining > 0; step++ {
+		if step >= maxSteps {
+			return nil, fmt.Errorf("sim: RunBroadcast: %d informs missing after %d steps", remaining, maxSteps)
+		}
+		arrivals = arrivals[:0]
+		for node := int64(0); node < n; node++ {
+			q := queues[node]
+			send := func(link int) {
+				msg := q[link][0]
+				q[link] = q[link][1:]
+				res.TotalHops++
+				arrivals = append(arrivals, arrival{node: topo.Neighbor(node, link), msg: msg})
+			}
+			switch model {
+			case AllPort:
+				for link := 0; link < deg; link++ {
+					if len(q[link]) > 0 {
+						send(link)
+					}
+				}
+			case SinglePort:
+				for probe := 0; probe < deg; probe++ {
+					link := (rot[node] + probe) % deg
+					if len(q[link]) > 0 {
+						send(link)
+						rot[node] = (link + 1) % deg
+						break
+					}
+				}
+			}
+		}
+		for _, a := range arrivals {
+			learn(a.node, a.msg)
+		}
+		res.Steps = step + 1
+	}
+	res.AvgLinkLoad = float64(res.TotalHops) / float64(n*int64(deg))
+	// Flooding sends each message over (almost) every link, so per-link
+	// loads are uniform by construction; report the average as the max too.
+	res.MaxLinkLoad = int64(res.AvgLinkLoad + 0.9999)
+	return res, nil
+}
+
+// MNBLowerBound returns the trivial lower bound on MNB completion time: each
+// node must receive N-1 messages over at most `inDegree` incoming links
+// (all-port) or 1 (single-port).
+func MNBLowerBound(n int64, inDegree int, model PortModel) int64 {
+	msgs := n - 1
+	if model == SinglePort || inDegree < 1 {
+		return msgs
+	}
+	per := int64(inDegree)
+	return (msgs + per - 1) / per
+}

@@ -1,0 +1,150 @@
+package sim
+
+import "fmt"
+
+// RunUnicastBuffered is RunUnicast with finite output queues: a packet may
+// only advance when the next hop's target queue has a free slot (credit
+// flow control). Source injection queues are unbounded (packets wait at the
+// NIC), but once in the network a packet occupies a buffer slot until it
+// moves. With cyclic buffer dependencies this can deadlock — the classic
+// motivation for virtual channels — and the engine detects that state
+// (nothing moved, packets remain) and reports it instead of spinning.
+func RunUnicastBuffered(topo Topology, pkts []Packet, model PortModel, bufCap, maxSteps int) (*Result, error) {
+	if bufCap < 1 {
+		return nil, fmt.Errorf("sim: RunUnicastBuffered: buffer capacity %d must be >= 1", bufCap)
+	}
+	n := topo.NumNodes()
+	deg := topo.Degree()
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	// queues: in-network finite buffers; source: unbounded injection queues.
+	queues := make([][][]flight, n)
+	source := make([][]flight, n)
+	for i := range queues {
+		queues[i] = make([][]flight, deg)
+	}
+	res := &Result{}
+	inFlight := int64(0)
+	for _, p := range pkts {
+		if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n {
+			return nil, fmt.Errorf("sim: RunUnicastBuffered: packet %v out of range", p)
+		}
+		if p.Src == p.Dst {
+			res.Delivered++
+			continue
+		}
+		path, err := topo.Path(p.Src, p.Dst)
+		if err != nil {
+			return nil, err
+		}
+		if len(path) == 0 {
+			return nil, fmt.Errorf("sim: RunUnicastBuffered: empty path for %d->%d", p.Src, p.Dst)
+		}
+		source[p.Src] = append(source[p.Src], flight{path: path})
+		inFlight++
+	}
+	rot := make([]int, n)
+	type arrival struct {
+		node int64
+		f    flight
+	}
+	var arrivals []arrival
+	for step := 0; inFlight > 0; step++ {
+		if step >= maxSteps {
+			return nil, fmt.Errorf("sim: RunUnicastBuffered: %d packets undelivered after %d steps", inFlight, maxSteps)
+		}
+		moved := false
+		arrivals = arrivals[:0]
+		// Reserve one credit per (node, link) per step based on occupancy at
+		// the start of the step, so movement within a step cannot create
+		// space that is used in the same step (conservative, deadlock-prone
+		// exactly like real wormhole buffers).
+		space := make([][]int, n)
+		for u := int64(0); u < n; u++ {
+			space[u] = make([]int, deg)
+			for link := 0; link < deg; link++ {
+				space[u][link] = bufCap - len(queues[u][link])
+			}
+		}
+		canAccept := func(u int64, f flight) bool {
+			if f.pos == len(f.path) { // delivery consumes no buffer
+				return true
+			}
+			return space[u][f.path[f.pos]] > 0
+		}
+		reserve := func(u int64, f flight) {
+			if f.pos < len(f.path) {
+				space[u][f.path[f.pos]]--
+			}
+		}
+		for node := int64(0); node < n; node++ {
+			q := queues[node]
+			trySend := func(link int) bool {
+				f := q[link][0]
+				next := topo.Neighbor(node, link)
+				moved2 := f
+				moved2.pos++
+				if !canAccept(next, moved2) {
+					return false
+				}
+				reserve(next, moved2)
+				q[link] = q[link][1:]
+				res.TotalHops++
+				arrivals = append(arrivals, arrival{node: next, f: moved2})
+				return true
+			}
+			switch model {
+			case AllPort:
+				for link := 0; link < deg; link++ {
+					if len(q[link]) > 0 && trySend(link) {
+						moved = true
+					}
+				}
+			case SinglePort:
+				for probe := 0; probe < deg; probe++ {
+					link := (rot[node] + probe) % deg
+					if len(q[link]) > 0 && trySend(link) {
+						rot[node] = (link + 1) % deg
+						moved = true
+						break
+					}
+				}
+			}
+			// Inject from the source queue when the first-hop buffer has
+			// room (injection does not count against the port budget: the
+			// NIC is a separate input).
+			for len(source[node]) > 0 {
+				f := source[node][0]
+				if space[node][f.path[0]] <= 0 {
+					break
+				}
+				space[node][f.path[0]]--
+				source[node] = source[node][1:]
+				queues[node][f.path[0]] = append(queues[node][f.path[0]], f)
+				if l := len(queues[node][f.path[0]]); l > res.MaxQueueLen {
+					res.MaxQueueLen = l
+				}
+				moved = true
+			}
+		}
+		for _, a := range arrivals {
+			if a.f.pos == len(a.f.path) {
+				res.Delivered++
+				inFlight--
+				continue
+			}
+			link := a.f.path[a.f.pos]
+			queues[a.node][link] = append(queues[a.node][link], a.f)
+			if l := len(queues[a.node][link]); l > res.MaxQueueLen {
+				res.MaxQueueLen = l
+			}
+		}
+		res.Steps = step + 1
+		if !moved {
+			return nil, fmt.Errorf("sim: RunUnicastBuffered: deadlock at step %d with %d packets in flight (buffer capacity %d)", step, inFlight, bufCap)
+		}
+	}
+	res.AvgLinkLoad = float64(res.TotalHops) / float64(n*int64(deg))
+	return res, nil
+}

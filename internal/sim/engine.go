@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/perm"
+)
+
+// PortModel selects the paper's communication model (§5): single-port nodes
+// drive one outgoing link per step; all-port nodes drive every link each
+// step.
+type PortModel int
+
+const (
+	AllPort PortModel = iota
+	SinglePort
+)
+
+func (m PortModel) String() string {
+	if m == SinglePort {
+		return "single-port"
+	}
+	return "all-port"
+}
+
+// Packet is one unicast message.
+type Packet struct {
+	Src, Dst int64
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// Steps is the completion time in synchronous steps.
+	Steps int
+	// Delivered counts messages (or broadcast informs) completed.
+	Delivered int64
+	// TotalHops counts link traversals.
+	TotalHops int64
+	// MaxLinkLoad is the largest traversal count over any directed link —
+	// the balance indicator the paper's conclusion highlights ("the expected
+	// traffic is balanced on all links").
+	MaxLinkLoad int64
+	// AvgLinkLoad is TotalHops divided by the number of directed links.
+	AvgLinkLoad float64
+	// MaxQueueLen is the deepest output queue observed.
+	MaxQueueLen int
+	// LoadGini is the Gini coefficient of per-link traffic (0 = perfectly
+	// balanced links, →1 = all traffic on few links): the quantitative form
+	// of the paper's "expected traffic is balanced on all links" claim.
+	LoadGini float64
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("steps=%d delivered=%d hops=%d maxLink=%d avgLink=%.2f maxQueue=%d",
+		r.Steps, r.Delivered, r.TotalHops, r.MaxLinkLoad, r.AvgLinkLoad, r.MaxQueueLen)
+}
+
+// flight is an in-transit packet: the precomputed link path and the index of
+// the next link to traverse.
+type flight struct {
+	path []int
+	pos  int
+}
+
+// RunUnicast injects all packets at time zero and advances the network until
+// every packet is delivered or maxSteps elapse. Deterministic: FIFO queues,
+// links served in index order, single-port arbitration by a per-node
+// rotating pointer.
+func RunUnicast(topo Topology, pkts []Packet, model PortModel, maxSteps int) (*Result, error) {
+	n := topo.NumNodes()
+	deg := topo.Degree()
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	queues := make([][][]flight, n)
+	for i := range queues {
+		queues[i] = make([][]flight, deg)
+	}
+	loads := make([][]int64, n)
+	for i := range loads {
+		loads[i] = make([]int64, deg)
+	}
+	res := &Result{}
+	inFlight := int64(0)
+	for _, p := range pkts {
+		if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n {
+			return nil, fmt.Errorf("sim: RunUnicast: packet %v out of range", p)
+		}
+		if p.Src == p.Dst {
+			res.Delivered++
+			continue
+		}
+		path, err := topo.Path(p.Src, p.Dst)
+		if err != nil {
+			return nil, err
+		}
+		if len(path) == 0 {
+			return nil, fmt.Errorf("sim: RunUnicast: empty path for %d->%d", p.Src, p.Dst)
+		}
+		queues[p.Src][path[0]] = append(queues[p.Src][path[0]], flight{path: path})
+		inFlight++
+	}
+	rot := make([]int, n) // single-port arbitration pointers
+	type arrival struct {
+		node int64
+		f    flight
+	}
+	var arrivals []arrival
+	for step := 0; inFlight > 0; step++ {
+		if step >= maxSteps {
+			return nil, fmt.Errorf("sim: RunUnicast: %d packets undelivered after %d steps", inFlight, maxSteps)
+		}
+		arrivals = arrivals[:0]
+		for node := int64(0); node < n; node++ {
+			q := queues[node]
+			send := func(link int) {
+				f := q[link][0]
+				q[link] = q[link][1:]
+				next := topo.Neighbor(node, link)
+				loads[node][link]++
+				res.TotalHops++
+				f.pos++
+				arrivals = append(arrivals, arrival{node: next, f: f})
+			}
+			switch model {
+			case AllPort:
+				for link := 0; link < deg; link++ {
+					if len(q[link]) > 0 {
+						send(link)
+					}
+				}
+			case SinglePort:
+				for probe := 0; probe < deg; probe++ {
+					link := (rot[node] + probe) % deg
+					if len(q[link]) > 0 {
+						send(link)
+						rot[node] = (link + 1) % deg
+						break
+					}
+				}
+			}
+		}
+		for _, a := range arrivals {
+			if a.f.pos == len(a.f.path) {
+				res.Delivered++
+				inFlight--
+				continue
+			}
+			link := a.f.path[a.f.pos]
+			queues[a.node][link] = append(queues[a.node][link], a.f)
+			if l := len(queues[a.node][link]); l > res.MaxQueueLen {
+				res.MaxQueueLen = l
+			}
+		}
+		res.Steps = step + 1
+	}
+	flat := make([]int64, 0, n*int64(deg))
+	for node := int64(0); node < n; node++ {
+		for link := 0; link < deg; link++ {
+			if loads[node][link] > res.MaxLinkLoad {
+				res.MaxLinkLoad = loads[node][link]
+			}
+			flat = append(flat, loads[node][link])
+		}
+	}
+	res.AvgLinkLoad = float64(res.TotalHops) / float64(n*int64(deg))
+	res.LoadGini = gini(flat)
+	return res, nil
+}
+
+// gini computes the Gini coefficient of non-negative values.
+func gini(values []int64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var cum, weighted float64
+	for i, v := range sorted {
+		cum += float64(v)
+		weighted += float64(v) * float64(i+1)
+	}
+	if cum == 0 {
+		return 0
+	}
+	nf := float64(len(sorted))
+	return (2*weighted - (nf+1)*cum) / (nf * cum)
+}
+
+// TotalExchange builds the all-to-all personalized workload: one packet for
+// every ordered pair of distinct nodes.
+func TotalExchange(n int64) []Packet {
+	pkts := make([]Packet, 0, n*(n-1))
+	for s := int64(0); s < n; s++ {
+		for d := int64(0); d < n; d++ {
+			if s != d {
+				pkts = append(pkts, Packet{Src: s, Dst: d})
+			}
+		}
+	}
+	return pkts
+}
+
+// RandomRouting builds `count` packets with uniform random sources and
+// destinations (src != dst), deterministically from the seed.
+func RandomRouting(n int64, count int, seed uint64) []Packet {
+	rng := perm.NewRNG(seed)
+	pkts := make([]Packet, 0, count)
+	for i := 0; i < count; i++ {
+		s := int64(rng.Intn(int(n)))
+		d := int64(rng.Intn(int(n)))
+		for d == s {
+			d = int64(rng.Intn(int(n)))
+		}
+		pkts = append(pkts, Packet{Src: s, Dst: d})
+	}
+	return pkts
+}
+
+// Hotspot builds a workload where `fraction` of the traffic targets a single
+// hot node and the rest is uniform random — the classic stress pattern for
+// link-balance claims. count packets total, deterministic in seed.
+func Hotspot(n int64, count int, hot int64, fraction float64, seed uint64) []Packet {
+	rng := perm.NewRNG(seed)
+	pkts := make([]Packet, 0, count)
+	for i := 0; i < count; i++ {
+		s := int64(rng.Intn(int(n)))
+		var d int64
+		if rng.Float64() < fraction {
+			d = hot
+		} else {
+			d = int64(rng.Intn(int(n)))
+		}
+		for d == s {
+			d = int64(rng.Intn(int(n)))
+		}
+		pkts = append(pkts, Packet{Src: s, Dst: d})
+	}
+	return pkts
+}
+
+// PermutationRouting builds a random permutation workload: every node sends
+// exactly one packet and receives exactly one.
+func PermutationRouting(n int64, seed uint64) []Packet {
+	rng := perm.NewRNG(seed)
+	dst := make([]int64, n)
+	for i := range dst {
+		dst[i] = int64(i)
+	}
+	for i := int(n) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	pkts := make([]Packet, 0, n)
+	for s := int64(0); s < n; s++ {
+		if dst[s] != s {
+			pkts = append(pkts, Packet{Src: s, Dst: dst[s]})
+		}
+	}
+	return pkts
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// OpenLoopResult reports a steady-state open-loop run: Bernoulli traffic is
+// injected for a fixed horizon and the delivered throughput and latency are
+// measured — the simulator-side counterpart of the §4.2 pin-limited
+// throughput model.
+type OpenLoopResult struct {
+	// Offered is the requested injection rate (packets/node/step).
+	Offered float64
+	// Throughput is the measured delivery rate (packets/node/step) over
+	// the whole horizon.
+	Throughput float64
+	// MeanLatency is the average steps from injection to delivery over
+	// delivered packets.
+	MeanLatency float64
+	// Injected and Delivered count packets.
+	Injected, Delivered int64
+	// Backlog is the number of packets still queued at the horizon.
+	Backlog int64
+}
+
+func (r *OpenLoopResult) String() string {
+	return fmt.Sprintf("offered=%.4f throughput=%.4f latency=%.2f delivered=%d backlog=%d",
+		r.Offered, r.Throughput, r.MeanLatency, r.Delivered, r.Backlog)
+}
+
+// RunOpenLoop injects uniform-random traffic at `rate` packets per node per
+// step for `steps` steps and then drains nothing further: the measured
+// throughput saturates near the network's capacity once rate exceeds it.
+// Deterministic in seed.
+func RunOpenLoop(topo Topology, rate float64, steps int, model PortModel, seed uint64) (*OpenLoopResult, error) {
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("sim: RunOpenLoop: rate %v outside (0,1]", rate)
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("sim: RunOpenLoop: steps must be positive")
+	}
+	n := topo.NumNodes()
+	deg := topo.Degree()
+	rng := perm.NewRNG(seed)
+	type olFlight struct {
+		path []int
+		pos  int
+		born int
+	}
+	queues := make([][][]olFlight, n)
+	for i := range queues {
+		queues[i] = make([][]olFlight, deg)
+	}
+	res := &OpenLoopResult{Offered: rate}
+	var latencySum int64
+	rot := make([]int, n)
+	type arrival struct {
+		node int64
+		f    olFlight
+	}
+	var arrivals []arrival
+	for step := 0; step < steps; step++ {
+		// Injection phase.
+		for node := int64(0); node < n; node++ {
+			if rng.Float64() >= rate {
+				continue
+			}
+			dst := int64(rng.Intn(int(n)))
+			if dst == node {
+				continue
+			}
+			path, err := topo.Path(node, dst)
+			if err != nil {
+				return nil, err
+			}
+			if len(path) == 0 {
+				continue
+			}
+			queues[node][path[0]] = append(queues[node][path[0]], olFlight{path: path, born: step})
+			res.Injected++
+		}
+		// Transmission phase.
+		arrivals = arrivals[:0]
+		for node := int64(0); node < n; node++ {
+			q := queues[node]
+			send := func(link int) {
+				f := q[link][0]
+				q[link] = q[link][1:]
+				f.pos++
+				arrivals = append(arrivals, arrival{node: topo.Neighbor(node, link), f: f})
+			}
+			switch model {
+			case AllPort:
+				for link := 0; link < deg; link++ {
+					if len(q[link]) > 0 {
+						send(link)
+					}
+				}
+			case SinglePort:
+				for probe := 0; probe < deg; probe++ {
+					link := (rot[node] + probe) % deg
+					if len(q[link]) > 0 {
+						send(link)
+						rot[node] = (link + 1) % deg
+						break
+					}
+				}
+			}
+		}
+		for _, a := range arrivals {
+			if a.f.pos == len(a.f.path) {
+				res.Delivered++
+				latencySum += int64(step - a.f.born + 1)
+				continue
+			}
+			queues[a.node][a.f.path[a.f.pos]] = append(queues[a.node][a.f.path[a.f.pos]], a.f)
+		}
+	}
+	for node := int64(0); node < n; node++ {
+		for link := 0; link < deg; link++ {
+			res.Backlog += int64(len(queues[node][link]))
+		}
+	}
+	res.Throughput = float64(res.Delivered) / (float64(n) * float64(steps))
+	if res.Delivered > 0 {
+		res.MeanLatency = float64(latencySum) / float64(res.Delivered)
+	}
+	return res, nil
+}
+
+// SaturationThroughput runs RunOpenLoop at increasing offered rates and
+// returns the highest measured throughput — an empirical estimate of the
+// network's capacity per node.
+func SaturationThroughput(topo Topology, steps int, model PortModel, seed uint64) (float64, error) {
+	best := 0.0
+	for _, rate := range []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.0} {
+		res, err := RunOpenLoop(topo, rate, steps, model, seed)
+		if err != nil {
+			return 0, err
+		}
+		if res.Throughput > best {
+			best = res.Throughput
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,113 @@
+package topology
+
+import "testing"
+
+// TestBoundFormulaMatchesInstanceBound: the standalone formula evaluator
+// must agree with the bound computed from a constructed instance, for every
+// family and parameter choice.
+func TestBoundFormulaMatchesInstanceBound(t *testing.T) {
+	for _, nw := range smallInstances(t, 9) {
+		want, err := DiameterUpperBoundFormula(nw.Family(), nw.L(), nw.N())
+		if err != nil {
+			t.Fatalf("%s: %v", nw.Name(), err)
+		}
+		if got := nw.DiameterUpperBound(); got != want {
+			t.Errorf("%s: instance bound %d != formula %d", nw.Name(), got, want)
+		}
+	}
+	for k := 2; k <= 8; k++ {
+		cases := []struct {
+			fam Family
+			mk  func(int) (*Network, error)
+		}{
+			{Star, NewStar}, {Rotator, NewRotator}, {Pancake, NewPancake},
+			{BubbleSort, NewBubbleSort}, {TranspositionNet, NewTranspositionNet}, {IS, NewIS},
+		}
+		for _, c := range cases {
+			nw, err := c.mk(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := DiameterUpperBoundFormula(c.fam, 1, k-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := nw.DiameterUpperBound(); got != want {
+				t.Errorf("%s: instance bound %d != formula %d", nw.Name(), got, want)
+			}
+		}
+	}
+	if _, err := DiameterUpperBoundFormula(Family(99), 2, 2); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := DegreeFormula(Family(99), 2, 2); err == nil {
+		t.Error("unknown family accepted by DegreeFormula")
+	}
+}
+
+// TestExactBaselineDiameters: known exact diameters of the permutation
+// baselines at small k (bubble-sort: k(k-1)/2; transposition network: k -
+// #cycles max = k-1; pancake: known values 1,3,4,5,7,8 for k=2..7).
+func TestExactBaselineDiameters(t *testing.T) {
+	pancakeDiam := map[int]int{2: 1, 3: 3, 4: 4, 5: 5, 6: 7, 7: 8}
+	for k := 2; k <= 7; k++ {
+		bub, err := NewBubbleSort(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := bub.Graph().Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != k*(k-1)/2 {
+			t.Errorf("bubble(%d) diameter %d, want %d", k, d, k*(k-1)/2)
+		}
+		tn, err := NewTranspositionNet(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err = tn.Graph().Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != k-1 {
+			t.Errorf("transposition(%d) diameter %d, want %d", k, d, k-1)
+		}
+		pan, err := NewPancake(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err = pan.Graph().Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != pancakeDiam[k] {
+			t.Errorf("pancake(%d) diameter %d, want %d", k, d, pancakeDiam[k])
+		}
+	}
+}
+
+// TestISExactDiameters records the IS network's exact diameters — the §3.3.3
+// claim that IS-based networks have diameters "optimal within a factor of
+// 1 + o(1)".
+func TestISExactDiameters(t *testing.T) {
+	for k := 3; k <= 7; k++ {
+		nw, err := NewIS(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := nw.Graph().Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > nw.DiameterUpperBound() {
+			t.Errorf("IS(%d) diameter %d above bound %d", k, d, nw.DiameterUpperBound())
+		}
+		// IS contains the rotator as a subgraph, so its diameter is at most
+		// the rotator's k-1.
+		if d > k-1 {
+			t.Errorf("IS(%d) diameter %d above rotator diameter %d", k, d, k-1)
+		}
+		t.Logf("IS(%d): exact diameter %d", k, d)
+	}
+}

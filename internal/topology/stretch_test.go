@@ -1,0 +1,67 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/bag"
+	"repro/internal/perm"
+)
+
+// TestSolverStretchAcrossFamilies quantifies routing quality: the game
+// solvers' path lengths versus exact shortest paths, sampled at (3,2)
+// (k = 7, N = 5040). The solvers are upper-bound algorithms, so stretch is
+// >= 1; it must stay within a small constant at this size.
+func TestSolverStretchAcrossFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stretch measurement runs many BFS passes")
+	}
+	for _, fam := range AllSuperCayleyFamilies() {
+		nw, err := New(fam, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		route := func(src, dst perm.Perm) (int, error) { return nw.RouteLen(src, dst) }
+		st, err := nw.Graph().MeasureStretch(15, 21, route)
+		if err != nil {
+			t.Fatalf("%s: %v", nw.Name(), err)
+		}
+		if st.MeanStretch < 1 {
+			t.Fatalf("%s: mean stretch %f < 1", nw.Name(), st.MeanStretch)
+		}
+		if st.MeanStretch > 2.5 {
+			t.Errorf("%s: mean stretch %f too high for a usable router", nw.Name(), st.MeanStretch)
+		}
+		t.Logf("%s: mean stretch %.3f, max %.3f, optimal %d/%d",
+			nw.Name(), st.MeanStretch, st.MaxStretch, st.Optimal, st.Pairs)
+	}
+}
+
+// TestOptimalSolverMatchesBFS: the IDA* optimal game solver returns exactly
+// the BFS graph distance for every sampled state of MS(2,2).
+func TestOptimalSolverMatchesBFS(t *testing.T) {
+	nw, err := NewMS(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, ok := nw.Rules()
+	if !ok {
+		t.Fatal("no rules")
+	}
+	res, err := nw.Graph().BFS(perm.Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r < nw.Nodes(); r += 7 {
+		u := perm.Unrank(5, r)
+		opt, err := bag.SolveOptimal(rules, u, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", u, err)
+		}
+		// Distance from u to identity: in the BFS-from-identity profile this
+		// is Dist over the reverse graph; for the undirected MS they agree.
+		exact := int(res.Dist[r])
+		if len(opt) != exact {
+			t.Errorf("%v: optimal solver %d, BFS distance %d", u, len(opt), exact)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// smallInstances enumerates every super Cayley instance with k <= maxK.
+func smallInstances(t *testing.T, maxK int) []*Network {
+	t.Helper()
+	var nets []*Network
+	for l := 2; l <= maxK; l++ {
+		for n := 1; n*l+1 <= maxK; n++ {
+			for _, fam := range AllSuperCayleyFamilies() {
+				nw, err := New(fam, l, n)
+				if err != nil {
+					t.Fatalf("New(%v,%d,%d): %v", fam, l, n, err)
+				}
+				nets = append(nets, nw)
+			}
+		}
+	}
+	return nets
+}
+
+func TestConstructorsReportedParameters(t *testing.T) {
+	nw, err := NewMS(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Family() != MS || nw.L() != 3 || nw.N() != 2 || nw.K() != 7 {
+		t.Fatalf("MS(3,2): %v l=%d n=%d k=%d", nw.Family(), nw.L(), nw.N(), nw.K())
+	}
+	if nw.Nodes() != 5040 {
+		t.Fatalf("Nodes = %d", nw.Nodes())
+	}
+	if nw.Name() != "MS(3,2)" {
+		t.Fatalf("Name = %q", nw.Name())
+	}
+	if _, ok := nw.Rules(); !ok {
+		t.Fatal("MS should be game-routed")
+	}
+	if !MS.IsSuperCayley() || Star.IsSuperCayley() {
+		t.Fatal("IsSuperCayley misclassifies")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, f := range []func() error{
+		func() error { _, err := NewStar(1); return err },
+		func() error { _, err := NewRotator(1); return err },
+		func() error { _, err := NewIS(1); return err },
+		func() error { _, err := NewMS(1, 2); return err },
+		func() error { _, err := NewMS(2, 0); return err },
+		func() error { _, err := NewRR(1, 3); return err },
+		func() error { _, err := New(Family(99), 2, 2); return err },
+	} {
+		if f() == nil {
+			t.Error("invalid constructor call accepted")
+		}
+	}
+}
+
+// TestDegreeMatchesFormula checks Theorem-level degree accounting: the
+// constructed graph's degree must equal the closed form for every family and
+// parameter choice.
+func TestDegreeMatchesFormula(t *testing.T) {
+	for _, nw := range smallInstances(t, 9) {
+		want, err := DegreeFormula(nw.Family(), nw.L(), nw.N())
+		if err != nil {
+			t.Fatalf("%s: %v", nw.Name(), err)
+		}
+		if nw.Degree() != want {
+			t.Errorf("%s: degree %d, formula %d", nw.Name(), nw.Degree(), want)
+		}
+	}
+	for k := 2; k <= 8; k++ {
+		for _, mk := range []struct {
+			fam Family
+			f   func(int) (*Network, error)
+		}{
+			{Star, NewStar}, {Rotator, NewRotator}, {Pancake, NewPancake},
+			{BubbleSort, NewBubbleSort}, {TranspositionNet, NewTranspositionNet}, {IS, NewIS},
+		} {
+			nw, err := mk.f(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := DegreeFormula(mk.fam, 1, k-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nw.Degree() != want {
+				t.Errorf("%s: degree %d, formula %d", nw.Name(), nw.Degree(), want)
+			}
+		}
+	}
+}
+
+// TestDirectedness checks §3.3's directed/undirected classification.
+func TestDirectedness(t *testing.T) {
+	undirected := map[Family]bool{
+		MS: true, RS: true, CompleteRS: true,
+		MIS: true, RIS: true, CompleteRIS: true,
+		MR: false, RR: false, CompleteRR: false,
+	}
+	for _, nw := range smallInstances(t, 9) {
+		want, ok := undirected[nw.Family()]
+		if !ok {
+			continue
+		}
+		// Degenerate exception: with n = 1 the insertion nucleus {I2} is the
+		// self-inverse transposition T2, making MR/RR/complete-RR undirected.
+		if nw.N() == 1 {
+			continue
+		}
+		if nw.Undirected() != want {
+			t.Errorf("%s: undirected=%v, want %v", nw.Name(), nw.Undirected(), want)
+		}
+	}
+	for _, mk := range []struct {
+		f    func(int) (*Network, error)
+		want bool
+	}{
+		{NewStar, true}, {NewPancake, true}, {NewBubbleSort, true},
+		{NewTranspositionNet, true}, {NewIS, true}, {NewRotator, false},
+	} {
+		nw, err := mk.f(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.Undirected() != mk.want {
+			t.Errorf("%s: undirected=%v, want %v", nw.Name(), nw.Undirected(), mk.want)
+		}
+	}
+}
+
+// TestConnectivity: every instance must generate S_k (strongly connected).
+func TestConnectivity(t *testing.T) {
+	for _, nw := range smallInstances(t, 8) {
+		if !nw.Graph().Connected() {
+			t.Errorf("%s is not connected", nw.Name())
+		}
+	}
+}
+
+// TestExactDiameterWithinBounds computes exact BFS diameters for every
+// instance with k <= 7 and checks them against the solver-derived upper
+// bounds and, where the paper states a formula, the paper's bound.
+func TestExactDiameterWithinBounds(t *testing.T) {
+	maxK := 7
+	if !testing.Short() {
+		maxK = 8 // adds the (7,1) instances at 40320 nodes
+	}
+	for _, nw := range smallInstances(t, maxK) {
+		d, err := nw.Graph().Diameter()
+		if err != nil {
+			t.Fatalf("%s: %v", nw.Name(), err)
+		}
+		ub := nw.DiameterUpperBound()
+		if d > ub {
+			t.Errorf("%s: exact diameter %d exceeds bound %d", nw.Name(), d, ub)
+		}
+		if paper, ok := PaperDiameterBound(nw.Family(), nw.L(), nw.N()); ok && d > paper {
+			t.Errorf("%s: exact diameter %d exceeds the paper bound %d", nw.Name(), d, paper)
+		}
+		t.Logf("%s: exact diameter %d (our bound %d)", nw.Name(), d, ub)
+	}
+}
+
+// TestMSWithN1IsStar: "For n = 1, the macro-star MS(l,1), macro-rotator
+// RS(l,1), and macro-IS MIS(l,1) are all identical to an (l+1)-star graph"
+// (§3.3.3). We verify the metric claim: same size, degree, and exact
+// diameter.
+func TestMSWithN1IsStar(t *testing.T) {
+	for l := 2; l <= 6; l++ {
+		star, err := NewStar(l + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD, err := star.Graph().Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mk := range []func(int, int) (*Network, error){NewMS, NewMR, NewMIS} {
+			nw, err := mk(l, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nw.Nodes() != star.Nodes() || nw.Degree() != star.Degree() {
+				t.Errorf("%s: size/degree (%d,%d) vs star (%d,%d)",
+					nw.Name(), nw.Nodes(), nw.Degree(), star.Nodes(), star.Degree())
+			}
+			d, err := nw.Graph().Diameter()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != wantD {
+				t.Errorf("%s: diameter %d, star(%d) has %d", nw.Name(), d, l+1, wantD)
+			}
+		}
+	}
+}
+
+// TestRoutingRandomPairs validates Route on random source/destination pairs
+// for every family, including the non-game baselines.
+func TestRoutingRandomPairs(t *testing.T) {
+	rng := perm.NewRNG(31)
+	var nets []*Network
+	nets = append(nets, smallInstances(t, 9)...)
+	for _, mk := range []func(int) (*Network, error){
+		NewStar, NewRotator, NewPancake, NewBubbleSort, NewTranspositionNet, NewIS,
+	} {
+		nw, err := mk(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, nw)
+	}
+	for _, nw := range nets {
+		k := nw.K()
+		for trial := 0; trial < 8; trial++ {
+			src, dst := perm.Random(k, rng), perm.Random(k, rng)
+			moves, err := nw.Route(src, dst)
+			if err != nil {
+				t.Fatalf("%s: Route: %v", nw.Name(), err)
+			}
+			if err := nw.VerifyRoute(src, dst, moves); err != nil {
+				t.Fatalf("%s: %v", nw.Name(), err)
+			}
+			if len(moves) > nw.DiameterUpperBound() {
+				t.Errorf("%s: route length %d > bound %d", nw.Name(), len(moves), nw.DiameterUpperBound())
+			}
+		}
+	}
+}
+
+// TestRouteNeverBeatsBFS: the algorithmic route can never be shorter than
+// the true shortest path, and for every pair its length stays within the
+// diameter bound. Exact distances come from one BFS per source.
+func TestRouteNeverBeatsBFS(t *testing.T) {
+	rng := perm.NewRNG(37)
+	for _, fam := range AllSuperCayleyFamilies() {
+		nw, err := New(fam, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := nw.K()
+		for trial := 0; trial < 5; trial++ {
+			src := perm.Random(k, rng)
+			fromSrc, err := nw.Graph().BFS(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for inner := 0; inner < 10; inner++ {
+				dst := perm.Random(k, rng)
+				moves, err := nw.Route(src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exact := int(fromSrc.Dist[dst.Rank()])
+				if exact < 0 {
+					t.Fatalf("%s: %v unreachable from %v", nw.Name(), dst, src)
+				}
+				if len(moves) < exact {
+					t.Errorf("%s: route %v->%v has %d moves, below exact distance %d",
+						nw.Name(), src, dst, len(moves), exact)
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyRouteRejectsForeignMoves(t *testing.T) {
+	ms, err := NewMS(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRR(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := perm.NewRNG(5)
+	src, dst := perm.Random(7, rng), perm.Random(7, rng)
+	moves, err := rr.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usesInsertion := false
+	for _, g := range moves {
+		if g.Name() != "T2" && g.Name() != "I2" {
+			usesInsertion = true
+		}
+	}
+	if usesInsertion {
+		if err := ms.VerifyRoute(src, dst, moves); err == nil {
+			t.Error("MS accepted RR moves")
+		}
+	}
+	if err := ms.VerifyRoute(src, dst, nil); err == nil {
+		t.Error("empty route accepted for distinct src/dst")
+	}
+}
+
+func TestNodesFormula(t *testing.T) {
+	if NodesFormula(MS, 3, 2) != 5040 {
+		t.Error("NodesFormula MS(3,2)")
+	}
+	if NodesFormula(Star, 1, 6) != 5040 {
+		t.Error("NodesFormula star k=7")
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	fams := append(AllSuperCayleyFamilies(), Star, Rotator, Pancake, BubbleSort, TranspositionNet, IS)
+	for _, f := range fams {
+		if f.String() == "" {
+			t.Errorf("family %d has empty name", f)
+		}
+	}
+}
