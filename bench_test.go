@@ -371,6 +371,43 @@ func BenchmarkRandomRoutingCompleteRS32(b *testing.B) {
 	b.ReportMetric(float64(res.MaxLinkLoad)/res.AvgLinkLoad, "load-imbalance")
 }
 
+// --- observability overhead -------------------------------------------------------
+
+func benchUnicastTraced(b *testing.B, newRec func() Recorder) {
+	nw, err := NewMacroStar(2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := NewSimNetwork(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := RandomRouting(topo.NumNodes(), 2000, 3)
+	var res *SimResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = RunUnicastTraced(topo, pkts, AllPort, 0, newRec())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Steps), "steps")
+	b.ReportMetric(res.Latency.P99, "latency-p99")
+}
+
+// BenchmarkRunUnicastNoop measures the disabled-recorder fast path: a nil
+// Recorder must cost the same as the plain engine (compare with
+// BenchmarkRunUnicastTraced for the per-step tracing overhead).
+func BenchmarkRunUnicastNoop(b *testing.B) {
+	benchUnicastTraced(b, func() Recorder { return nil })
+}
+
+// BenchmarkRunUnicastTraced runs the same workload with a full per-step
+// Trace attached (stats-every 1: step samples, events, load Gini per step).
+func BenchmarkRunUnicastTraced(b *testing.B) {
+	benchUnicastTraced(b, func() Recorder { return NewTrace(1) })
+}
+
 // --- routing throughput -----------------------------------------------------------
 
 // BenchmarkRoutingSolvers measures raw routing (game-solving) speed on a

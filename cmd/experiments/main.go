@@ -4,6 +4,11 @@
 // exact-diameter growth table, MCMP profiles, simulation summaries, and the
 // Figures 1–3 game traces. It is the repo's one-shot reproduction driver.
 //
+// Observability: every major section is phase-timed (timings printed at the
+// end), the §5 communication section additionally exports the worked-example
+// MS(2,2) MNB trace as NDJSON and CSV, and -cpuprofile/-memprofile write
+// pprof profiles of the whole reproduction run.
+//
 //	experiments -out results -maxk 7
 package main
 
@@ -12,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bag"
@@ -20,6 +27,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/mcmp"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -27,14 +35,31 @@ import (
 
 func main() {
 	var (
-		out  = flag.String("out", "results", "output directory")
-		maxK = flag.Int("maxk", 7, "largest k for exhaustive measurements")
+		out        = flag.String("out", "results", "output directory")
+		maxK       = flag.Int("maxk", 7, "largest k for exhaustive measurements")
+		traceFile  = flag.String("trace", "", "MNB example trace file (default <out>/mnb_ms22_trace.ndjson)")
+		statsEvery = flag.Int("stats-every", 1, "coalesce per-step trace samples into windows of n steps")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceFile == "" {
+		*traceFile = filepath.Join(*out, "mnb_ms22_trace.ndjson")
+	}
 
+	timer := obs.NewPhaseTimer()
 	write := func(name, content string) {
 		path := filepath.Join(*out, name)
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
@@ -44,9 +69,11 @@ func main() {
 	}
 
 	// Figures 1-3: game traces.
+	timer.Start("fig1-3-games")
 	write("fig1-3_games.txt", gameTraces())
 
 	// Figures 4-6 as tables and plots.
+	timer.Start("fig4-6")
 	f4, err := figures.Fig4Degrees()
 	fail(err)
 	write("fig4_degrees.txt", figures.RenderSeries("Figure 4: node degree vs log2(N)", f4)+
@@ -64,6 +91,7 @@ func main() {
 		"\n"+figures.RenderASCII("Figure 6 (plot, log y)", f6, 0, 0, true))
 
 	// Table 1 and companions.
+	timer.Start("table1")
 	t1, err := figures.Table1(*maxK)
 	fail(err)
 	write("table1_alpha.txt", figures.RenderTable1(t1))
@@ -79,10 +107,45 @@ func main() {
 	write("diameter_growth.txt", figures.RenderGrowthTable(growth))
 
 	// MCMP / Theorem 4.8-4.9.
+	timer.Start("mcmp")
 	write("thm48_49_mcmp.txt", mcmpReport())
 
-	// Communication tasks.
-	write("sec5_communication.txt", commReport())
+	// Communication tasks, with the worked-example MS(2,2) MNB trace.
+	timer.Start("communication")
+	report, record := commReport(*statsEvery)
+	write("sec5_communication.txt", report)
+	if record != nil {
+		fail(writeTrace(record, *traceFile))
+		csvPath := strings.TrimSuffix(*traceFile, filepath.Ext(*traceFile)) + ".csv"
+		fail(writeTrace(record, csvPath))
+		fmt.Printf("wrote %s and %s (%d step samples)\n", *traceFile, csvPath, len(record.Steps))
+	}
+
+	fmt.Println("phase timings:")
+	for _, p := range timer.Phases() {
+		fmt.Printf("  %-16s %8.3fs\n", p.Name, p.Seconds)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		fail(err)
+		runtime.GC()
+		fail(pprof.WriteHeapProfile(f))
+		f.Close()
+	}
+}
+
+// writeTrace writes a run record as NDJSON, or CSV for .csv paths.
+func writeTrace(record *obs.RunRecord, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if filepath.Ext(path) == ".csv" {
+		return record.WriteCSV(f)
+	}
+	return record.WriteNDJSON(f)
 }
 
 func gameTraces() string {
@@ -146,36 +209,67 @@ func mcmpReport() string {
 	return b.String()
 }
 
-func commReport() string {
+// commReport runs the §5 communication tasks on MS(2,2). The all-port MNB
+// run is traced and returned as an exportable run record — the worked
+// observability example documented in DESIGN.md.
+func commReport(statsEvery int) (string, *obs.RunRecord) {
 	var b strings.Builder
 	nw, err := topology.NewMS(2, 2)
 	if err != nil {
-		return err.Error()
+		return err.Error(), nil
 	}
 	topo, err := sim.NewPermTopology(nw)
 	if err != nil {
-		return err.Error()
+		return err.Error(), nil
 	}
+	var record *obs.RunRecord
 	fmt.Fprintf(&b, "Communication tasks on %s (N=%d)\n\n", nw.Name(), nw.Nodes())
 	for _, model := range []sim.PortModel{sim.AllPort, sim.SinglePort} {
-		flood, err := sim.RunBroadcast(topo, model, 0)
+		var rec obs.Recorder
+		var trace *obs.Trace
+		if model == sim.AllPort {
+			trace = obs.NewTrace(statsEvery)
+			rec = trace
+		}
+		flood, err := sim.RunBroadcastTraced(topo, model, 0, rec)
 		if err != nil {
-			return err.Error()
+			return err.Error(), nil
 		}
 		tree, err := collective.SimulateTreeMNB(nw.Graph(), model, 0)
 		if err != nil {
-			return err.Error()
+			return err.Error(), nil
 		}
 		lb := sim.MNBLowerBound(nw.Nodes(), nw.Degree(), model)
 		fmt.Fprintf(&b, "MNB %-11s: lower bound %d, tree %d steps (%d hops, gini %.3f), flood %d steps (%d hops)\n",
 			model, lb, tree.Steps, tree.TotalHops, tree.LoadGini, flood.Steps, flood.TotalHops)
+		if trace != nil {
+			fmt.Fprintf(&b, "MNB all-port latency: %s\n", flood.Latency)
+			record = trace.Record(
+				map[string]string{
+					"network": topo.Name(),
+					"nodes":   fmt.Sprint(topo.NumNodes()),
+					"degree":  fmt.Sprint(topo.Degree()),
+					"task":    "mnb",
+					"model":   model.String(),
+				},
+				map[string]float64{
+					"steps":       float64(flood.Steps),
+					"delivered":   float64(flood.Delivered),
+					"total_hops":  float64(flood.TotalHops),
+					"latency_p50": flood.Latency.P50,
+					"latency_p95": flood.Latency.P95,
+					"latency_p99": flood.Latency.P99,
+					"latency_max": float64(flood.Latency.Max),
+				},
+			)
+		}
 	}
 	te, err := sim.RunUnicast(topo, sim.TotalExchange(nw.Nodes()), sim.AllPort, 0)
 	if err != nil {
-		return err.Error()
+		return err.Error(), nil
 	}
-	fmt.Fprintf(&b, "TE all-port: %s (load gini %.3f)\n", te, te.LoadGini)
-	return b.String()
+	fmt.Fprintf(&b, "TE all-port: %s\n", te)
+	return b.String(), record
 }
 
 func min(a, b int) int {

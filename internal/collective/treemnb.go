@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/perm"
 	"repro/internal/sim"
 )
@@ -167,24 +168,6 @@ func SimulateTreeMNB(g *core.Graph, model sim.PortModel, maxSteps int) (*TreeMNB
 			flat = append(flat, loads[u][link])
 		}
 	}
-	res.LoadGini = giniInt64(flat)
+	res.LoadGini = metrics.LoadGini(flat)
 	return res, nil
-}
-
-func giniInt64(values []int64) float64 {
-	if len(values) == 0 {
-		return 0
-	}
-	sorted := append([]int64(nil), values...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var cum, weighted float64
-	for i, v := range sorted {
-		cum += float64(v)
-		weighted += float64(v) * float64(i+1)
-	}
-	if cum == 0 {
-		return 0
-	}
-	nf := float64(len(sorted))
-	return (2*weighted - (nf+1)*cum) / (nf * cum)
 }

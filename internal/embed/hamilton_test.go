@@ -51,7 +51,6 @@ func TestHamiltonianCycles(t *testing.T) {
 		{"star(4)", func() (*topology.Network, error) { return topology.NewStar(4) }},
 		{"complete-RS(3,1)", func() (*topology.Network, error) { return topology.NewCompleteRS(3, 1) }},
 		{"rotator(4)", func() (*topology.Network, error) { return topology.NewRotator(4) }},
-
 	}
 	for _, c := range cases {
 		nw, err := c.mk()

@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLoadGini(t *testing.T) {
+	if g := LoadGini(nil); g != 0 {
+		t.Errorf("empty: %v", g)
+	}
+	if g := LoadGini([]int64{0, 0, 0}); g != 0 {
+		t.Errorf("all zero: %v", g)
+	}
+	if g := LoadGini([]int64{7, 7, 7, 7}); math.Abs(g) > 1e-12 {
+		t.Errorf("uniform loads must give 0, got %v", g)
+	}
+	// All traffic on one of n links approaches 1 - 1/n.
+	if g := LoadGini([]int64{0, 0, 0, 100}); math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("concentrated loads: got %v, want 0.75", g)
+	}
+	// Order-independent, input untouched.
+	in := []int64{5, 1, 3}
+	g1 := LoadGini(in)
+	g2 := LoadGini([]int64{1, 3, 5})
+	if g1 != g2 {
+		t.Errorf("order dependence: %v vs %v", g1, g2)
+	}
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Errorf("input modified: %v", in)
+	}
+	// More unequal distributions score higher.
+	if LoadGini([]int64{1, 1, 1, 9}) <= LoadGini([]int64{2, 3, 3, 4}) {
+		t.Error("inequality ordering violated")
+	}
+}

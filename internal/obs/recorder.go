@@ -1,0 +1,125 @@
+package obs
+
+import "sort"
+
+// Trace is the standard in-memory Recorder: it accumulates step samples
+// (optionally coalesced into fixed-width windows), events, and end-of-run
+// histograms, and assembles them into an exportable RunRecord.
+type Trace struct {
+	every    int
+	samples  []StepSample
+	events   []Event
+	hists    map[string]*Histogram
+	pending  StepSample
+	pendingN int
+}
+
+// NewTrace returns a Trace that coalesces step samples into windows of
+// `every` steps (every <= 1 keeps every step). Within a window the delta
+// fields (Injected, Delivered, Dropped) are summed — so windowed delivered
+// counts still sum to the run's final total — peak fields (MaxQueue,
+// MaxLinkLoad) take the window maximum, and gauge fields (InFlight, Backlog,
+// MeanQueue, LinkGini, Step) take the window's last value.
+func NewTrace(every int) *Trace {
+	if every < 1 {
+		every = 1
+	}
+	return &Trace{every: every, hists: make(map[string]*Histogram)}
+}
+
+// OnStep implements Recorder.
+func (t *Trace) OnStep(s StepSample) {
+	if t.pendingN == 0 {
+		t.pending = s
+	} else {
+		t.pending.Step = s.Step
+		t.pending.InFlight = s.InFlight
+		t.pending.Backlog = s.Backlog
+		t.pending.Injected += s.Injected
+		t.pending.Delivered += s.Delivered
+		t.pending.Dropped += s.Dropped
+		if s.MaxQueue > t.pending.MaxQueue {
+			t.pending.MaxQueue = s.MaxQueue
+		}
+		if s.MaxLinkLoad > t.pending.MaxLinkLoad {
+			t.pending.MaxLinkLoad = s.MaxLinkLoad
+		}
+		t.pending.MeanQueue = s.MeanQueue
+		t.pending.LinkGini = s.LinkGini
+	}
+	t.pendingN++
+	if t.pendingN >= t.every {
+		t.flush()
+	}
+}
+
+// OnEvent implements Recorder.
+func (t *Trace) OnEvent(e Event) { t.events = append(t.events, e) }
+
+// OnHistogram implements Recorder; later histograms with the same name are
+// merged.
+func (t *Trace) OnHistogram(name string, h *Histogram) {
+	if h == nil {
+		return
+	}
+	if prev, ok := t.hists[name]; ok {
+		prev.Merge(h)
+		return
+	}
+	cp := *h
+	t.hists[name] = &cp
+}
+
+func (t *Trace) flush() {
+	if t.pendingN == 0 {
+		return
+	}
+	t.samples = append(t.samples, t.pending)
+	t.pending = StepSample{}
+	t.pendingN = 0
+}
+
+// Steps returns the (coalesced) step series, flushing any partial window.
+func (t *Trace) Steps() []StepSample {
+	t.flush()
+	return t.samples
+}
+
+// Events returns the recorded events.
+func (t *Trace) Events() []Event { return t.events }
+
+// Histogram returns the named end-of-run histogram, or nil.
+func (t *Trace) Histogram(name string) *Histogram { return t.hists[name] }
+
+// Record assembles the trace plus run metadata into an exportable
+// RunRecord. Histograms are emitted in name order so records are
+// deterministic.
+func (t *Trace) Record(config map[string]string, summary map[string]float64) *RunRecord {
+	rec := &RunRecord{
+		Config:  config,
+		Steps:   t.Steps(),
+		Events:  t.events,
+		Summary: summary,
+	}
+	names := make([]string, 0, len(t.hists))
+	for name := range t.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := t.hists[name]
+		s := h.Summary()
+		rec.Histograms = append(rec.Histograms, HistogramRecord{
+			Name:    name,
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Min:     h.Min(),
+			Max:     h.Max(),
+			P50:     s.P50,
+			P95:     s.P95,
+			P99:     s.P99,
+			Buckets: h.Buckets(),
+		})
+	}
+	return rec
+}

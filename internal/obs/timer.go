@@ -1,0 +1,47 @@
+package obs
+
+import "time"
+
+// PhaseTimer measures wall-clock time per named phase of a run (topology
+// construction, workload generation, simulation, export). Starting a phase
+// ends the previous one; repeated names accumulate.
+type PhaseTimer struct {
+	phases  []Phase
+	index   map[string]int
+	current string
+	started time.Time
+}
+
+// NewPhaseTimer returns an idle timer.
+func NewPhaseTimer() *PhaseTimer {
+	return &PhaseTimer{index: make(map[string]int)}
+}
+
+// Start ends the current phase (if any) and begins `name`.
+func (t *PhaseTimer) Start(name string) {
+	t.Stop()
+	t.current = name
+	t.started = time.Now()
+}
+
+// Stop ends the current phase without starting another.
+func (t *PhaseTimer) Stop() {
+	if t.current == "" {
+		return
+	}
+	elapsed := time.Since(t.started).Seconds()
+	if i, ok := t.index[t.current]; ok {
+		t.phases[i].Seconds += elapsed
+	} else {
+		t.index[t.current] = len(t.phases)
+		t.phases = append(t.phases, Phase{Name: t.current, Seconds: elapsed})
+	}
+	t.current = ""
+}
+
+// Phases returns the accumulated timings in first-start order, ending the
+// current phase first.
+func (t *PhaseTimer) Phases() []Phase {
+	t.Stop()
+	return t.phases
+}

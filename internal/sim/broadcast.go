@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // RunBroadcast simulates a multinode broadcast (MNB): every node owns one
 // message that must reach every other node. Messages flood: when a node
@@ -10,6 +14,16 @@ import "fmt"
 // step. This is the task of [7, 29, 30] that §1 and §5 argue super Cayley
 // graphs execute asymptotically optimally.
 func RunBroadcast(topo Topology, model PortModel, maxSteps int) (*Result, error) {
+	return RunBroadcastTraced(topo, model, maxSteps, nil)
+}
+
+// RunBroadcastTraced is RunBroadcast with an attached recorder (nil means
+// tracing off). A "delivery" is one node learning one foreign message, so
+// the per-step delivered deltas sum to N·(N-1). The recorder additionally
+// sees the true per-link flood loads ("link_load" histogram and per-step
+// MaxLinkLoad/LinkGini), which the aggregate Result rounds into a uniform
+// estimate.
+func RunBroadcastTraced(topo Topology, model PortModel, maxSteps int, rec obs.Recorder) (*Result, error) {
 	n := topo.NumNodes()
 	deg := topo.Degree()
 	if n > 1<<13 {
@@ -47,6 +61,17 @@ func RunBroadcast(topo Topology, model PortModel, maxSteps int) (*Result, error)
 	for v := int64(0); v < n; v++ {
 		learn(v, int32(v))
 	}
+	lat := obs.NewHistogram()
+	var loads [][]int64
+	var prevDelivered int64
+	var giniBuf []int64
+	if rec != nil {
+		loads = make([][]int64, n)
+		for i := range loads {
+			loads[i] = make([]int64, deg)
+		}
+		rec.OnEvent(obs.Event{Kind: obs.EventInjection, Step: 0, Node: -1, Count: n})
+	}
 	rot := make([]int, n)
 	type arrival struct {
 		node int64
@@ -64,6 +89,9 @@ func RunBroadcast(topo Topology, model PortModel, maxSteps int) (*Result, error)
 				msg := q[link][0]
 				q[link] = q[link][1:]
 				res.TotalHops++
+				if loads != nil {
+					loads[node][link]++
+				}
 				arrivals = append(arrivals, arrival{node: topo.Neighbor(node, link), msg: msg})
 			}
 			switch model {
@@ -88,11 +116,30 @@ func RunBroadcast(topo Topology, model PortModel, maxSteps int) (*Result, error)
 			learn(a.node, a.msg)
 		}
 		res.Steps = step + 1
+		delta := res.Delivered - prevDelivered
+		if delta > 0 {
+			lat.ObserveN(int64(step+1), delta)
+		}
+		if rec != nil {
+			s := obs.StepSample{Step: step, InFlight: remaining, Delivered: delta}
+			s.MaxQueue, s.MeanQueue = queueStats(queues)
+			giniBuf, s.MaxLinkLoad, s.LinkGini = loadSample(loads, giniBuf)
+			if delta > 0 {
+				rec.OnEvent(obs.Event{Kind: obs.EventDelivery, Step: step, Node: -1, Count: delta})
+			}
+			rec.OnStep(s)
+		}
+		prevDelivered = res.Delivered
 	}
 	res.AvgLinkLoad = float64(res.TotalHops) / float64(n*int64(deg))
 	// Flooding sends each message over (almost) every link, so per-link
 	// loads are uniform by construction; report the average as the max too.
 	res.MaxLinkLoad = int64(res.AvgLinkLoad + 0.9999)
+	res.Latency = lat.Summary()
+	if rec != nil {
+		rec.OnHistogram("latency", lat)
+		rec.OnHistogram("link_load", loadHistogram(loads))
+	}
 	return res, nil
 }
 

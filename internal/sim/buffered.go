@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // RunUnicastBuffered is RunUnicast with finite output queues: a packet may
 // only advance when the next hop's target queue has a free slot (credit
@@ -10,6 +14,14 @@ import "fmt"
 // motivation for virtual channels — and the engine detects that state
 // (nothing moved, packets remain) and reports it instead of spinning.
 func RunUnicastBuffered(topo Topology, pkts []Packet, model PortModel, bufCap, maxSteps int) (*Result, error) {
+	return RunUnicastBufferedTraced(topo, pkts, model, bufCap, maxSteps, nil)
+}
+
+// RunUnicastBufferedTraced is RunUnicastBuffered with an attached recorder
+// (nil means tracing off). Besides the per-step samples and histograms of
+// RunUnicastTraced, the buffered engine emits an EventDeadlock (with the
+// stuck in-flight count) immediately before returning the deadlock error.
+func RunUnicastBufferedTraced(topo Topology, pkts []Packet, model PortModel, bufCap, maxSteps int, rec obs.Recorder) (*Result, error) {
 	if bufCap < 1 {
 		return nil, fmt.Errorf("sim: RunUnicastBuffered: buffer capacity %d must be >= 1", bufCap)
 	}
@@ -43,6 +55,17 @@ func RunUnicastBuffered(topo Topology, pkts []Packet, model PortModel, bufCap, m
 		}
 		source[p.Src] = append(source[p.Src], flight{path: path})
 		inFlight++
+	}
+	loads := make([][]int64, n)
+	for i := range loads {
+		loads[i] = make([]int64, deg)
+	}
+	lat := obs.NewHistogram()
+	var prevDelivered, prevInjected, injected int64
+	var giniBuf []int64
+	if rec != nil {
+		rec.OnEvent(obs.Event{Kind: obs.EventInjection, Step: 0, Node: -1, Count: inFlight})
+		rec.OnEvent(obs.Event{Kind: obs.EventDrainStart, Step: 0, Node: -1, Count: inFlight})
 	}
 	rot := make([]int, n)
 	type arrival struct {
@@ -90,6 +113,7 @@ func RunUnicastBuffered(topo Topology, pkts []Packet, model PortModel, bufCap, m
 				}
 				reserve(next, moved2)
 				q[link] = q[link][1:]
+				loads[node][link]++
 				res.TotalHops++
 				arrivals = append(arrivals, arrival{node: next, f: moved2})
 				return true
@@ -125,6 +149,7 @@ func RunUnicastBuffered(topo Topology, pkts []Packet, model PortModel, bufCap, m
 				if l := len(queues[node][f.path[0]]); l > res.MaxQueueLen {
 					res.MaxQueueLen = l
 				}
+				injected++
 				moved = true
 			}
 		}
@@ -132,6 +157,7 @@ func RunUnicastBuffered(topo Topology, pkts []Packet, model PortModel, bufCap, m
 			if a.f.pos == len(a.f.path) {
 				res.Delivered++
 				inFlight--
+				lat.Observe(int64(step + 1))
 				continue
 			}
 			link := a.f.path[a.f.pos]
@@ -141,10 +167,37 @@ func RunUnicastBuffered(topo Topology, pkts []Packet, model PortModel, bufCap, m
 			}
 		}
 		res.Steps = step + 1
+		if rec != nil {
+			s := obs.StepSample{
+				Step:      step,
+				InFlight:  inFlight,
+				Injected:  injected - prevInjected,
+				Delivered: res.Delivered - prevDelivered,
+			}
+			s.MaxQueue, s.MeanQueue = queueStats(queues)
+			giniBuf, s.MaxLinkLoad, s.LinkGini = loadSample(loads, giniBuf)
+			if s.Delivered > 0 {
+				rec.OnEvent(obs.Event{Kind: obs.EventDelivery, Step: step, Node: -1, Count: s.Delivered})
+			}
+			rec.OnStep(s)
+			prevDelivered = res.Delivered
+			prevInjected = injected
+		}
 		if !moved {
+			if rec != nil {
+				rec.OnEvent(obs.Event{Kind: obs.EventDeadlock, Step: step, Node: -1, Count: inFlight})
+				rec.OnHistogram("latency", lat)
+				rec.OnHistogram("link_load", loadHistogram(loads))
+			}
 			return nil, fmt.Errorf("sim: RunUnicastBuffered: deadlock at step %d with %d packets in flight (buffer capacity %d)", step, inFlight, bufCap)
 		}
 	}
+	_, res.MaxLinkLoad, res.LoadGini = loadSample(loads, nil)
 	res.AvgLinkLoad = float64(res.TotalHops) / float64(n*int64(deg))
+	res.Latency = lat.Summary()
+	if rec != nil {
+		rec.OnHistogram("latency", lat)
+		rec.OnHistogram("link_load", loadHistogram(loads))
+	}
 	return res, nil
 }

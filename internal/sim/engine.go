@@ -2,8 +2,9 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
@@ -49,11 +50,15 @@ type Result struct {
 	// balanced links, →1 = all traffic on few links): the quantitative form
 	// of the paper's "expected traffic is balanced on all links" claim.
 	LoadGini float64
+	// Latency summarizes the per-packet delivery-latency distribution in
+	// steps (injection to delivery, inclusive), measured by a log-bucketed
+	// histogram.
+	Latency obs.Summary
 }
 
 func (r *Result) String() string {
-	return fmt.Sprintf("steps=%d delivered=%d hops=%d maxLink=%d avgLink=%.2f maxQueue=%d",
-		r.Steps, r.Delivered, r.TotalHops, r.MaxLinkLoad, r.AvgLinkLoad, r.MaxQueueLen)
+	return fmt.Sprintf("steps=%d delivered=%d hops=%d maxLink=%d avgLink=%.2f maxQueue=%d gini=%.3f latency[%s]",
+		r.Steps, r.Delivered, r.TotalHops, r.MaxLinkLoad, r.AvgLinkLoad, r.MaxQueueLen, r.LoadGini, r.Latency)
 }
 
 // flight is an in-transit packet: the precomputed link path and the index of
@@ -63,11 +68,68 @@ type flight struct {
 	pos  int
 }
 
+// queueStats scans the per-link output queues and returns the deepest queue
+// and the mean depth — the per-step gauge pair of a StepSample.
+func queueStats[T any](queues [][][]T) (maxQ int, mean float64) {
+	links := 0
+	total := 0
+	for _, node := range queues {
+		for _, q := range node {
+			links++
+			total += len(q)
+			if len(q) > maxQ {
+				maxQ = len(q)
+			}
+		}
+	}
+	if links > 0 {
+		mean = float64(total) / float64(links)
+	}
+	return maxQ, mean
+}
+
+// loadSample flattens cumulative per-link loads into buf and returns the
+// reused buffer, the maximum load, and the Gini coefficient. Only called
+// when a recorder is attached — it is O(links·log links) per step.
+func loadSample(loads [][]int64, buf []int64) (out []int64, maxLoad int64, gini float64) {
+	buf = buf[:0]
+	for _, row := range loads {
+		for _, v := range row {
+			if v > maxLoad {
+				maxLoad = v
+			}
+			buf = append(buf, v)
+		}
+	}
+	return buf, maxLoad, metrics.LoadGini(buf)
+}
+
+// loadHistogram builds the per-link traffic distribution reported to
+// recorders under the name "link_load".
+func loadHistogram(loads [][]int64) *obs.Histogram {
+	h := obs.NewHistogram()
+	for _, row := range loads {
+		for _, v := range row {
+			h.Observe(v)
+		}
+	}
+	return h
+}
+
 // RunUnicast injects all packets at time zero and advances the network until
 // every packet is delivered or maxSteps elapse. Deterministic: FIFO queues,
 // links served in index order, single-port arbitration by a per-node
 // rotating pointer.
 func RunUnicast(topo Topology, pkts []Packet, model PortModel, maxSteps int) (*Result, error) {
+	return RunUnicastTraced(topo, pkts, model, maxSteps, nil)
+}
+
+// RunUnicastTraced is RunUnicast with an attached recorder: rec (which may
+// be nil, meaning tracing off) receives one StepSample per step, injection /
+// drain-start / per-step delivery events, and the end-of-run "latency" and
+// "link_load" histograms. The per-step delivered deltas sum to the result's
+// Delivered count.
+func RunUnicastTraced(topo Topology, pkts []Packet, model PortModel, maxSteps int, rec obs.Recorder) (*Result, error) {
 	n := topo.NumNodes()
 	deg := topo.Degree()
 	if maxSteps <= 0 {
@@ -100,6 +162,14 @@ func RunUnicast(topo Topology, pkts []Packet, model PortModel, maxSteps int) (*R
 		}
 		queues[p.Src][path[0]] = append(queues[p.Src][path[0]], flight{path: path})
 		inFlight++
+	}
+	lat := obs.NewHistogram()
+	var prevDelivered int64 // includes self-deliveries in the first sample
+	var giniBuf []int64
+	if rec != nil {
+		rec.OnEvent(obs.Event{Kind: obs.EventInjection, Step: 0, Node: -1, Count: inFlight})
+		// All packets enter at time zero, so the whole run is a drain.
+		rec.OnEvent(obs.Event{Kind: obs.EventDrainStart, Step: 0, Node: -1, Count: inFlight})
 	}
 	rot := make([]int, n) // single-port arbitration pointers
 	type arrival struct {
@@ -145,6 +215,7 @@ func RunUnicast(topo Topology, pkts []Packet, model PortModel, maxSteps int) (*R
 			if a.f.pos == len(a.f.path) {
 				res.Delivered++
 				inFlight--
+				lat.Observe(int64(step + 1))
 				continue
 			}
 			link := a.f.path[a.f.pos]
@@ -154,6 +225,16 @@ func RunUnicast(topo Topology, pkts []Packet, model PortModel, maxSteps int) (*R
 			}
 		}
 		res.Steps = step + 1
+		if rec != nil {
+			s := obs.StepSample{Step: step, InFlight: inFlight, Delivered: res.Delivered - prevDelivered}
+			s.MaxQueue, s.MeanQueue = queueStats(queues)
+			giniBuf, s.MaxLinkLoad, s.LinkGini = loadSample(loads, giniBuf)
+			if s.Delivered > 0 {
+				rec.OnEvent(obs.Event{Kind: obs.EventDelivery, Step: step, Node: -1, Count: s.Delivered})
+			}
+			rec.OnStep(s)
+			prevDelivered = res.Delivered
+		}
 	}
 	flat := make([]int64, 0, n*int64(deg))
 	for node := int64(0); node < n; node++ {
@@ -165,27 +246,13 @@ func RunUnicast(topo Topology, pkts []Packet, model PortModel, maxSteps int) (*R
 		}
 	}
 	res.AvgLinkLoad = float64(res.TotalHops) / float64(n*int64(deg))
-	res.LoadGini = gini(flat)
+	res.LoadGini = metrics.LoadGini(flat)
+	res.Latency = lat.Summary()
+	if rec != nil {
+		rec.OnHistogram("latency", lat)
+		rec.OnHistogram("link_load", loadHistogram(loads))
+	}
 	return res, nil
-}
-
-// gini computes the Gini coefficient of non-negative values.
-func gini(values []int64) float64 {
-	if len(values) == 0 {
-		return 0
-	}
-	sorted := append([]int64(nil), values...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var cum, weighted float64
-	for i, v := range sorted {
-		cum += float64(v)
-		weighted += float64(v) * float64(i+1)
-	}
-	if cum == 0 {
-		return 0
-	}
-	nf := float64(len(sorted))
-	return (2*weighted - (nf+1)*cum) / (nf * cum)
 }
 
 // TotalExchange builds the all-to-all personalized workload: one packet for

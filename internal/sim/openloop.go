@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
@@ -21,13 +22,20 @@ type OpenLoopResult struct {
 	MeanLatency float64
 	// Injected and Delivered count packets.
 	Injected, Delivered int64
+	// Dropped counts injection attempts discarded at the NIC (the random
+	// destination equalled the source).
+	Dropped int64
 	// Backlog is the number of packets still queued at the horizon.
 	Backlog int64
+	// Latency summarizes the injection-to-delivery latency distribution in
+	// steps (p50/p95/p99/max from a log-bucketed histogram; the mean is
+	// exact and equals MeanLatency).
+	Latency obs.Summary
 }
 
 func (r *OpenLoopResult) String() string {
-	return fmt.Sprintf("offered=%.4f throughput=%.4f latency=%.2f delivered=%d backlog=%d",
-		r.Offered, r.Throughput, r.MeanLatency, r.Delivered, r.Backlog)
+	return fmt.Sprintf("offered=%.4f throughput=%.4f latency=%.2f latency[%s] delivered=%d dropped=%d backlog=%d",
+		r.Offered, r.Throughput, r.MeanLatency, r.Latency, r.Delivered, r.Dropped, r.Backlog)
 }
 
 // RunOpenLoop injects uniform-random traffic at `rate` packets per node per
@@ -35,6 +43,16 @@ func (r *OpenLoopResult) String() string {
 // throughput saturates near the network's capacity once rate exceeds it.
 // Deterministic in seed.
 func RunOpenLoop(topo Topology, rate float64, steps int, model PortModel, seed uint64) (*OpenLoopResult, error) {
+	return RunOpenLoopTraced(topo, rate, steps, model, seed, nil)
+}
+
+// RunOpenLoopTraced is RunOpenLoop with an attached recorder (nil means
+// tracing off). Every step produces a StepSample whose Injected, Delivered,
+// and Dropped deltas sum to the run totals and whose Backlog gauge tracks
+// queue growth toward (or past) saturation; the end-of-run "latency" and
+// "link_load" histograms are also delivered. Per-packet events are not
+// emitted — at steady state they would dwarf the step series.
+func RunOpenLoopTraced(topo Topology, rate float64, steps int, model PortModel, seed uint64, rec obs.Recorder) (*OpenLoopResult, error) {
 	if rate <= 0 || rate > 1 {
 		return nil, fmt.Errorf("sim: RunOpenLoop: rate %v outside (0,1]", rate)
 	}
@@ -54,7 +72,16 @@ func RunOpenLoop(topo Topology, rate float64, steps int, model PortModel, seed u
 		queues[i] = make([][]olFlight, deg)
 	}
 	res := &OpenLoopResult{Offered: rate}
-	var latencySum int64
+	lat := obs.NewHistogram()
+	var loads [][]int64
+	if rec != nil {
+		loads = make([][]int64, n)
+		for i := range loads {
+			loads[i] = make([]int64, deg)
+		}
+	}
+	var inNetwork, prevInjected, prevDelivered, prevDropped int64
+	var giniBuf []int64
 	rot := make([]int, n)
 	type arrival struct {
 		node int64
@@ -69,6 +96,7 @@ func RunOpenLoop(topo Topology, rate float64, steps int, model PortModel, seed u
 			}
 			dst := int64(rng.Intn(int(n)))
 			if dst == node {
+				res.Dropped++
 				continue
 			}
 			path, err := topo.Path(node, dst)
@@ -76,10 +104,12 @@ func RunOpenLoop(topo Topology, rate float64, steps int, model PortModel, seed u
 				return nil, err
 			}
 			if len(path) == 0 {
+				res.Dropped++
 				continue
 			}
 			queues[node][path[0]] = append(queues[node][path[0]], olFlight{path: path, born: step})
 			res.Injected++
+			inNetwork++
 		}
 		// Transmission phase.
 		arrivals = arrivals[:0]
@@ -89,6 +119,9 @@ func RunOpenLoop(topo Topology, rate float64, steps int, model PortModel, seed u
 				f := q[link][0]
 				q[link] = q[link][1:]
 				f.pos++
+				if loads != nil {
+					loads[node][link]++
+				}
 				arrivals = append(arrivals, arrival{node: topo.Neighbor(node, link), f: f})
 			}
 			switch model {
@@ -112,10 +145,25 @@ func RunOpenLoop(topo Topology, rate float64, steps int, model PortModel, seed u
 		for _, a := range arrivals {
 			if a.f.pos == len(a.f.path) {
 				res.Delivered++
-				latencySum += int64(step - a.f.born + 1)
+				inNetwork--
+				lat.Observe(int64(step - a.f.born + 1))
 				continue
 			}
 			queues[a.node][a.f.path[a.f.pos]] = append(queues[a.node][a.f.path[a.f.pos]], a.f)
+		}
+		if rec != nil {
+			s := obs.StepSample{
+				Step:      step,
+				InFlight:  inNetwork,
+				Backlog:   inNetwork,
+				Injected:  res.Injected - prevInjected,
+				Delivered: res.Delivered - prevDelivered,
+				Dropped:   res.Dropped - prevDropped,
+			}
+			s.MaxQueue, s.MeanQueue = queueStats(queues)
+			giniBuf, s.MaxLinkLoad, s.LinkGini = loadSample(loads, giniBuf)
+			rec.OnStep(s)
+			prevInjected, prevDelivered, prevDropped = res.Injected, res.Delivered, res.Dropped
 		}
 	}
 	for node := int64(0); node < n; node++ {
@@ -124,8 +172,11 @@ func RunOpenLoop(topo Topology, rate float64, steps int, model PortModel, seed u
 		}
 	}
 	res.Throughput = float64(res.Delivered) / (float64(n) * float64(steps))
-	if res.Delivered > 0 {
-		res.MeanLatency = float64(latencySum) / float64(res.Delivered)
+	res.MeanLatency = lat.Mean()
+	res.Latency = lat.Summary()
+	if rec != nil {
+		rec.OnHistogram("latency", lat)
+		rec.OnHistogram("link_load", loadHistogram(loads))
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
@@ -312,13 +313,13 @@ func TestHotspotWorkload(t *testing.T) {
 }
 
 func TestLoadGini(t *testing.T) {
-	if g := gini([]int64{5, 5, 5, 5}); g != 0 {
+	if g := metrics.LoadGini([]int64{5, 5, 5, 5}); g != 0 {
 		t.Errorf("uniform gini = %v", g)
 	}
-	if g := gini([]int64{0, 0, 0, 12}); g < 0.7 {
+	if g := metrics.LoadGini([]int64{0, 0, 0, 12}); g < 0.7 {
 		t.Errorf("concentrated gini = %v", g)
 	}
-	if g := gini(nil); g != 0 {
+	if g := metrics.LoadGini(nil); g != 0 {
 		t.Errorf("empty gini = %v", g)
 	}
 	// TE on a vertex-symmetric network routes near-uniformly: Gini stays
