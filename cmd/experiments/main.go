@@ -52,7 +52,7 @@ func main() {
 		fail(pprof.StartCPUProfile(f))
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			fail(f.Close())
 		}()
 	}
 	if *traceFile == "" {
@@ -131,17 +131,22 @@ func main() {
 		fail(err)
 		runtime.GC()
 		fail(pprof.WriteHeapProfile(f))
-		f.Close()
+		fail(f.Close())
 	}
 }
 
 // writeTrace writes a run record as NDJSON, or CSV for .csv paths.
-func writeTrace(record *obs.RunRecord, path string) error {
+func writeTrace(record *obs.RunRecord, path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// A close error is a write error (buffered data may flush at close).
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	if filepath.Ext(path) == ".csv" {
 		return record.WriteCSV(f)
 	}

@@ -1,0 +1,31 @@
+// Command scglint is the project's static-analysis suite: six custom
+// analyzers (permalias, panicstyle, nilrecorder, droppederr, simhygiene,
+// mapdeterminism) that machine-check the repository's correctness
+// conventions using only the standard library's go/ast, go/parser, go/token,
+// and go/types.
+//
+// Usage:
+//
+//	go run ./cmd/scglint ./...
+//	go run ./cmd/scglint -json ./...
+//	go run ./cmd/scglint -only permalias,droppederr ./...
+//	go run ./cmd/scglint -list -v
+//
+// The driver exits 0 when the tree is clean, 1 when findings were reported,
+// and 2 when the module could not be loaded. Findings can be suppressed with
+// an audited directive on (or directly above) the flagged line:
+//
+//	//scglint:ignore <analyzer> <reason>
+//
+// Unused or malformed directives are themselves findings.
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -58,7 +58,7 @@ func main() {
 		fail(pprof.StartCPUProfile(f))
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			fail(f.Close())
 		}()
 	}
 
@@ -146,7 +146,7 @@ func main() {
 		fail(err)
 		runtime.GC()
 		fail(pprof.WriteHeapProfile(f))
-		f.Close()
+		fail(f.Close())
 	}
 }
 
@@ -190,12 +190,17 @@ func openLoopSummary(res *sim.OpenLoopResult) map[string]float64 {
 	}
 }
 
-func writeRecord(record *obs.RunRecord, path string) error {
+func writeRecord(record *obs.RunRecord, path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// A close error is a write error (buffered data may flush at close).
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	if strings.HasSuffix(path, ".csv") {
 		return record.WriteCSV(f)
 	}

@@ -40,7 +40,7 @@ func (s *state) slotOfColor(c int) int {
 			return j + 1
 		}
 	}
-	panic(fmt.Sprintf("bag: no box has color %d", c))
+	panic(fmt.Sprintf("bag: slotOfColor: no box has color %d", c))
 }
 
 // applySwap performs S_j, exchanging the boxes (and their colors) at slots 1
@@ -78,7 +78,7 @@ func (s *state) rotateForward(t int) {
 			}
 		}
 	default:
-		panic(fmt.Sprintf("bag: rotateForward with super style %v", s.rules.Super))
+		panic(fmt.Sprintf("bag: rotateForward: unsupported super style %v", s.rules.Super))
 	}
 	// A forward rotation by t moves the box at slot j to slot j+t (mod l):
 	// rotate the color array right by t.

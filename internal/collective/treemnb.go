@@ -101,7 +101,7 @@ func SimulateTreeMNB(g *core.Graph, model sim.PortModel, maxSteps int) (*TreeMNB
 		for _, c := range childrenOf(msg, u) {
 			li, ok := linkTo[u][c]
 			if !ok {
-				panic("collective: tree edge is not a graph link")
+				panic("collective: SimulateTreeMNB: tree edge is not a graph link")
 			}
 			queues[u][li] = append(queues[u][li], msg)
 		}

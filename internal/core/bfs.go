@@ -238,7 +238,7 @@ func (d *intDeque) pushBack(v int64) {
 
 func (d *intDeque) popFront() int64 {
 	if d.size == 0 {
-		panic("core: popFront on empty deque")
+		panic("core: popFront: empty deque")
 	}
 	v := d.buf[d.head]
 	d.head = (d.head + 1) % len(d.buf)

@@ -164,7 +164,7 @@ func (s *sipState) bringToFront(c int) {
 		}
 	}
 	if j == 0 {
-		panic(fmt.Sprintf("ipg: no box of color %d", c))
+		panic(fmt.Sprintf("ipg: bringToFront: no box of color %d", c))
 	}
 	if j == 1 {
 		return
@@ -203,7 +203,7 @@ func (s *sipState) rotateForward(t int) {
 			}
 		}
 	default:
-		panic("ipg: rotateForward without rotation style")
+		panic("ipg: rotateForward: rules have no rotation style")
 	}
 	rotated := make([]int, ly.L)
 	for j := 0; j < ly.L; j++ {

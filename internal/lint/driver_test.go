@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDriverExitCodeContract pins the go vet-style exit-code contract of the
+// scglint driver: 0 on a clean tree, 1 with file:line diagnostics on a tree
+// with findings, 2 when the driver itself cannot run.
+func TestDriverExitCodeContract(t *testing.T) {
+	t.Run("clean module exits 0", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		code := Main([]string{"-C", "testdata/clean", "./..."}, &out, &errOut)
+		if code != ExitClean {
+			t.Fatalf("exit code = %d, want %d (stderr: %s)", code, ExitClean, errOut.String())
+		}
+		if out.Len() != 0 {
+			t.Errorf("clean run printed: %q", out.String())
+		}
+	})
+
+	t.Run("bad module exits 1 with diagnostics", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		code := Main([]string{"-C", "testdata/simhygiene", "./..."}, &out, &errOut)
+		if code != ExitFindings {
+			t.Fatalf("exit code = %d, want %d (stderr: %s)", code, ExitFindings, errOut.String())
+		}
+		text := out.String()
+		for _, want := range []string{
+			"engine.go:13:", // time.Now finding carries file:line
+			"[simhygiene]",
+			"wall-clock call time.Now",
+			"global math/rand source",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("output missing %q:\n%s", want, text)
+			}
+		}
+	})
+
+	t.Run("unloadable module exits 2", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		code := Main([]string{"-C", "/nonexistent-scglint-dir"}, &out, &errOut)
+		if code != ExitError {
+			t.Fatalf("exit code = %d, want %d", code, ExitError)
+		}
+		if !strings.Contains(errOut.String(), "scglint:") {
+			t.Errorf("stderr missing driver error: %q", errOut.String())
+		}
+	})
+
+	t.Run("unknown analyzer exits 2", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		if code := Main([]string{"-only", "bogus", "-C", "testdata/clean"}, &out, &errOut); code != ExitError {
+			t.Fatalf("exit code = %d, want %d", code, ExitError)
+		}
+	})
+
+	t.Run("only and skip are exclusive", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		if code := Main([]string{"-only", "permalias", "-skip", "droppederr", "-C", "testdata/clean"}, &out, &errOut); code != ExitError {
+			t.Fatalf("exit code = %d, want %d", code, ExitError)
+		}
+	})
+}
+
+// TestDriverJSON checks that -json emits a parseable array of findings with
+// positions and analyzer names.
+func TestDriverJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := Main([]string{"-json", "-C", "testdata/simhygiene"}, &out, &errOut)
+	if code != ExitFindings {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, ExitFindings, errOut.String())
+	}
+	var findings []Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output has no findings")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+	}
+}
+
+// TestDriverSelection checks -only and -skip narrow the analyzer set.
+func TestDriverSelection(t *testing.T) {
+	var out, errOut bytes.Buffer
+	// simhygiene fixture has only simhygiene findings; skipping it must
+	// leave the tree clean.
+	if code := Main([]string{"-skip", "simhygiene", "-C", "testdata/simhygiene"}, &out, &errOut); code != ExitClean {
+		t.Fatalf("-skip simhygiene: exit code = %d, want %d\n%s", code, ExitClean, out.String())
+	}
+	out.Reset()
+	if code := Main([]string{"-only", "permalias", "-C", "testdata/simhygiene"}, &out, &errOut); code != ExitClean {
+		t.Fatalf("-only permalias: exit code = %d, want %d\n%s", code, ExitClean, out.String())
+	}
+}
+
+// TestDriverList checks -list prints the full catalog.
+func TestDriverList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Main([]string{"-list"}, &out, &errOut); code != ExitClean {
+		t.Fatalf("-list: exit code = %d", code)
+	}
+	for _, a := range Analyzers() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}

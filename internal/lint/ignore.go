@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//scglint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The directive suppresses matching findings on its own line or on the line
+// immediately below it (so it works both as a trailing comment and as an
+// own-line comment above the offending statement).
+const ignorePrefix = "scglint:ignore"
+
+// ignoreDirective is one parsed //scglint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	used      bool
+	malformed string // non-empty: why the directive is invalid
+}
+
+// parseIgnores collects every ignore directive of the module, keyed by file.
+func parseIgnores(m *Module) map[string][]*ignoreDirective {
+	out := make(map[string][]*ignoreDirective)
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					d := parseIgnoreDirective(m.Fset.Position(c.Pos()), strings.TrimPrefix(text, ignorePrefix))
+					out[d.pos.Filename] = append(out[d.pos.Filename], d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseIgnoreDirective validates the directive body "<analyzers> <reason>".
+func parseIgnoreDirective(pos token.Position, body string) *ignoreDirective {
+	d := &ignoreDirective{pos: pos}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		d.malformed = "missing analyzer name and reason"
+		return d
+	}
+	d.analyzers = strings.Split(fields[0], ",")
+	for _, name := range d.analyzers {
+		if _, ok := analyzerByName(name); !ok {
+			d.malformed = "unknown analyzer " + strings.TrimSpace(name)
+			return d
+		}
+	}
+	d.reason = strings.Join(fields[1:], " ")
+	if d.reason == "" {
+		d.malformed = "missing reason (write //scglint:ignore " + fields[0] + " <why this is safe>)"
+	}
+	return d
+}
+
+// matches reports whether the directive suppresses a finding by analyzer a
+// at line (same line as the directive, or the line just below it).
+func (d *ignoreDirective) matches(a string, line int) bool {
+	if d.malformed != "" {
+		return false
+	}
+	if line != d.pos.Line && line != d.pos.Line+1 {
+		return false
+	}
+	for _, name := range d.analyzers {
+		if name == a {
+			return true
+		}
+	}
+	return false
+}
+
+// applyIgnores filters raw findings through the module's ignore directives
+// and appends diagnostics for malformed or unused directives.
+func applyIgnores(m *Module, raw []Finding) []Finding {
+	ignores := parseIgnores(m)
+	var out []Finding
+	for _, f := range raw {
+		suppressed := false
+		for _, d := range ignores[f.File] {
+			if d.matches(f.Analyzer, f.Line) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, file := range sortedKeys(ignores) {
+		for _, d := range ignores[file] {
+			switch {
+			case d.malformed != "":
+				out = append(out, Finding{
+					Pos: d.pos, File: d.pos.Filename, Line: d.pos.Line, Col: d.pos.Column,
+					Analyzer: "scglint",
+					Message:  "malformed //scglint:ignore directive: " + d.malformed,
+					Hint:     "syntax: //scglint:ignore <analyzer>[,<analyzer>] <reason>",
+				})
+			case !d.used:
+				out = append(out, Finding{
+					Pos: d.pos, File: d.pos.Filename, Line: d.pos.Line, Col: d.pos.Column,
+					Analyzer: "scglint",
+					Message:  "unused //scglint:ignore directive for " + strings.Join(d.analyzers, ","),
+					Hint:     "the suppressed finding no longer fires; delete the directive",
+				})
+			}
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string][]*ignoreDirective) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

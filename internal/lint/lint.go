@@ -1,0 +1,131 @@
+// Package lint is scglint's engine: a stdlib-only static-analysis suite
+// (go/ast + go/parser + go/token + go/types, no golang.org/x/tools) that
+// enforces this repository's unwritten conventions as machine-checked
+// invariants.
+//
+// The analyzers are project-specific:
+//
+//   - permalias: functions must not store or return a perm.Perm / []int
+//     parameter without cloning it first (aliasing-mutation bug class).
+//   - panicstyle: panic messages follow the "pkg: Func: message" convention.
+//   - nilrecorder: exported *Traced entry points must tolerate a nil
+//     obs.Recorder (guard every method call or substitute a no-op).
+//   - droppederr: error return values must not be silently discarded.
+//   - simhygiene: no wall-clock time or global math/rand inside the
+//     simulation engines (determinism and benchmark stability).
+//   - mapdeterminism: no raw map iteration feeding output in the figure and
+//     experiment packages unless the result is sorted afterwards.
+//
+// Findings can be suppressed with an audit trail:
+//
+//	//scglint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the flagged line or the line immediately above it. Directives without a
+// reason, naming an unknown analyzer, or suppressing nothing are themselves
+// diagnostics, so the ignore inventory never rots.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// Pos locates the offending node (file:line:col).
+	Pos token.Position `json:"-"`
+	// File, Line, Col mirror Pos for JSON output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Analyzer names the analyzer that produced the finding ("scglint" for
+	// diagnostics about ignore directives themselves).
+	Analyzer string `json:"analyzer"`
+	// Message states the violation.
+	Message string `json:"message"`
+	// Hint is a one-line suggested fix.
+	Hint string `json:"hint,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	if f.Hint != "" {
+		s += " (fix: " + f.Hint + ")"
+	}
+	return s
+}
+
+// Analyzer is one named invariant checker run over every loaded package.
+type Analyzer struct {
+	// Name is the identifier used by -only/-skip and ignore directives.
+	Name string
+	// Doc is a one-line description for -list and the README catalog.
+	Doc string
+	// Run inspects a type-checked package and reports findings.
+	Run func(p *Package, report Reporter)
+}
+
+// Reporter receives findings from an analyzer run.
+type Reporter func(pos token.Pos, message, hint string)
+
+// Analyzers returns the full analyzer catalog in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerPermAlias,
+		analyzerPanicStyle,
+		analyzerNilRecorder,
+		analyzerDroppedErr,
+		analyzerSimHygiene,
+		analyzerMapDeterminism,
+	}
+}
+
+// analyzerByName resolves a catalog entry; ok is false for unknown names.
+func analyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the given analyzers over every package of m, applies ignore
+// directives, and returns the surviving findings sorted by position. Unused
+// or malformed ignore directives are appended as "scglint" findings.
+func Run(m *Module, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, p := range m.Packages {
+		for _, a := range analyzers {
+			a := a
+			a.Run(p, func(pos token.Pos, message, hint string) {
+				position := m.Fset.Position(pos)
+				raw = append(raw, Finding{
+					Pos:      position,
+					File:     position.Filename,
+					Line:     position.Line,
+					Col:      position.Column,
+					Analyzer: a.Name,
+					Message:  message,
+					Hint:     hint,
+				})
+			})
+		}
+	}
+	findings := applyIgnores(m, raw)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}

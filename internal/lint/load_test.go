@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture creates one file of a throwaway module under dir.
+func writeFixture(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadRealModule loads the enclosing repository itself — the same path
+// the CI step exercises — and sanity-checks the result: the known packages
+// are present, typed, and carry position info.
+func TestLoadRealModule(t *testing.T) {
+	m, err := Load(".")
+	if err != nil {
+		t.Fatalf("Load(.): %v", err)
+	}
+	if m.Path != "repro" {
+		t.Fatalf("module path = %q, want repro", m.Path)
+	}
+	want := map[string]bool{
+		"repro":               false,
+		"repro/internal/perm": false,
+		"repro/internal/sim":  false,
+		"repro/internal/obs":  false,
+		"repro/internal/lint": false,
+		"repro/cmd/scglint":   false,
+	}
+	for _, p := range m.Packages {
+		if _, ok := want[p.Path]; ok {
+			want[p.Path] = true
+		}
+		if p.Types == nil || p.Info == nil {
+			t.Errorf("%s: missing type info", p.Path)
+		}
+		if len(p.Files) == 0 {
+			t.Errorf("%s: no files", p.Path)
+		}
+		for _, f := range p.Files {
+			name := m.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				t.Errorf("%s: test file %s was loaded", p.Path, name)
+			}
+			if strings.Contains(name, "testdata") {
+				t.Errorf("%s: fixture file %s was loaded", p.Path, name)
+			}
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+}
+
+// TestFindModuleRoot checks upward traversal from a nested directory.
+func TestFindModuleRoot(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	nested, err := FindModuleRoot("testdata/nilrecorder/engine")
+	if err != nil {
+		t.Fatalf("FindModuleRoot(nested): %v", err)
+	}
+	if nested == root {
+		t.Errorf("nested fixture resolved to the outer module root %s", root)
+	}
+	if !strings.HasSuffix(nested, "testdata/nilrecorder") {
+		t.Errorf("nested root = %s, want .../testdata/nilrecorder", nested)
+	}
+}
+
+// TestLoadRejectsThirdPartyImports pins the documented limitation: the
+// loader resolves module-internal and standard-library imports only.
+func TestLoadRejectsThirdPartyImports(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "go.mod", "module fixthird\n\ngo 1.22\n")
+	writeFixture(t, dir, "x.go", "package x\n\nimport _ \"example.com/nope\"\n")
+	if _, err := Load(dir); err == nil {
+		t.Fatal("Load accepted a third-party import")
+	}
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerMapDeterminism guards the reproducibility of generated artifacts:
+// in the figure and experiment packages (cmd/figures, cmd/experiments,
+// internal/figures) a `range` over a map feeds tables, CSV rows, or plot
+// series, and Go's randomized map iteration order would make successive runs
+// produce different bytes. The analyzer flags every map range in those
+// packages unless the loop's results are visibly sorted afterwards: an
+// identifier assigned or appended inside the loop body that is passed to a
+// sort.* / slices.Sort* call later in the same block.
+//
+// Order-insensitive aggregations (summing, max) are legitimate; annotate
+// them with //scglint:ignore mapdeterminism <why> so the exemption is
+// auditable.
+var analyzerMapDeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "flag unsorted map iteration in figure/experiment output packages",
+	Run:  runMapDeterminism,
+}
+
+// mapDeterminismPackages are the import-path suffixes the analyzer covers.
+var mapDeterminismPackages = []string{"cmd/figures", "cmd/experiments", "internal/figures"}
+
+func runMapDeterminism(p *Package, report Reporter) {
+	if !pathHasSuffix(p.Path, mapDeterminismPackages...) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch st := n.(type) {
+			case *ast.BlockStmt:
+				list = st.List
+			case *ast.CaseClause:
+				list = st.Body
+			case *ast.CommClause:
+				list = st.Body
+			default:
+				return true
+			}
+			checkStmtList(p, list, report)
+			return true
+		})
+	}
+}
+
+// checkStmtList flags map ranges in one statement list that are not followed
+// by a sort of their accumulated results.
+func checkStmtList(p *Package, list []ast.Stmt, report Reporter) {
+	for i, s := range list {
+		rs, ok := s.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		if sortedAfter(p, rs, list[i+1:]) {
+			continue
+		}
+		report(rs.Pos(),
+			"map iteration order is nondeterministic; ranging over a map here makes figure/experiment output unstable across runs",
+			"collect the keys into a slice, sort them, and range over the slice (or //scglint:ignore mapdeterminism <why> for order-insensitive aggregation)")
+	}
+}
+
+// sortedAfter reports whether an identifier written inside the loop body is
+// sorted by a later statement of the same block.
+func sortedAfter(p *Package, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	written := make(map[types.Object]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if obj := identUse(p, lhs); obj != nil {
+				written[obj] = true
+			}
+		}
+		return true
+	})
+	if len(written) == 0 {
+		return false
+	}
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			path, _, ok := pkgSelector(p, call.Fun)
+			if !ok || (path != "sort" && path != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, isIdent := a.(*ast.Ident); isIdent && written[identUse(p, id)] {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerNilRecorder verifies the observability contract: every exported
+// function that accepts an obs.Recorder must be callable with a nil recorder
+// (nil is the documented "tracing off" value on the engines' fast path).
+// A method call on the recorder parameter is only allowed where the
+// parameter is provably non-nil:
+//
+//   - inside an `if rec != nil { ... }` block (including `&&` conjuncts),
+//   - after an early exit `if rec == nil { return ... }`,
+//   - after the parameter is rebound (`if rec == nil { rec = obs.Noop{} }`).
+//
+// Passing the recorder to another function is always allowed — the callee is
+// subject to the same contract.
+var analyzerNilRecorder = &Analyzer{
+	Name: "nilrecorder",
+	Doc:  "exported functions taking an obs.Recorder must tolerate a nil recorder",
+	Run:  runNilRecorder,
+}
+
+func runNilRecorder(p *Package, report Reporter) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					obj, isVar := p.Info.Defs[name].(*types.Var)
+					if !isVar || !isRecorderType(obj.Type()) {
+						continue
+					}
+					w := &nilGuardWalker{p: p, fd: fd, rec: obj, report: report}
+					w.walkList(fd.Body.List, false)
+				}
+			}
+		}
+	}
+}
+
+// isRecorderType matches the obs.Recorder interface (or a pointer to a
+// Recorder implementation from an obs package).
+func isRecorderType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Recorder" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// nilGuardWalker tracks, per statement list, whether the recorder parameter
+// is known non-nil at the current program point.
+type nilGuardWalker struct {
+	p      *Package
+	fd     *ast.FuncDecl
+	rec    *types.Var
+	report Reporter
+}
+
+func (w *nilGuardWalker) isRec(e ast.Expr) bool {
+	return identUse(w.p, e) == w.rec
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// condNonNil reports whether the condition guarantees rec != nil when true.
+func (w *nilGuardWalker) condNonNil(e ast.Expr) bool {
+	switch b := e.(type) {
+	case *ast.ParenExpr:
+		return w.condNonNil(b.X)
+	case *ast.BinaryExpr:
+		if b.Op == token.LAND {
+			return w.condNonNil(b.X) || w.condNonNil(b.Y)
+		}
+		if b.Op == token.NEQ {
+			return (w.isRec(b.X) && isNilIdent(b.Y)) || (w.isRec(b.Y) && isNilIdent(b.X))
+		}
+	}
+	return false
+}
+
+// condIsNilCheck reports whether the condition is exactly `rec == nil`.
+func (w *nilGuardWalker) condIsNilCheck(e ast.Expr) bool {
+	if pe, ok := e.(*ast.ParenExpr); ok {
+		return w.condIsNilCheck(pe.X)
+	}
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != token.EQL {
+		return false
+	}
+	return (w.isRec(b.X) && isNilIdent(b.Y)) || (w.isRec(b.Y) && isNilIdent(b.X))
+}
+
+func (w *nilGuardWalker) assignsRec(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if as, ok := x.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if w.isRec(lhs) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// walkList scans one statement list, promoting the guard after early exits
+// and recorder rebinds.
+func (w *nilGuardWalker) walkList(stmts []ast.Stmt, guarded bool) {
+	g := guarded
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			w.walkIf(st, g)
+			if w.condIsNilCheck(st.Cond) && (terminates(st.Body) || w.assignsRec(st.Body)) {
+				g = true
+			}
+		case *ast.AssignStmt:
+			w.walk(st, g)
+			if w.assignsRec(st) {
+				g = true
+			}
+		default:
+			w.walk(s, g)
+		}
+	}
+}
+
+func (w *nilGuardWalker) walkIf(st *ast.IfStmt, guarded bool) {
+	if st.Init != nil {
+		w.walk(st.Init, guarded)
+	}
+	w.walk(st.Cond, guarded)
+	switch {
+	case w.condNonNil(st.Cond):
+		w.walkList(st.Body.List, true)
+		if st.Else != nil {
+			w.walk(st.Else, guarded)
+		}
+	case w.condIsNilCheck(st.Cond):
+		// Inside the body the recorder is nil; calls there are certain
+		// panics and stay flagged.
+		w.walkList(st.Body.List, false)
+		if st.Else != nil {
+			w.walk(st.Else, true)
+		}
+	default:
+		w.walkList(st.Body.List, guarded)
+		if st.Else != nil {
+			w.walk(st.Else, guarded)
+		}
+	}
+}
+
+// walk scans any node, intercepting nested control flow so the guard state
+// stays accurate, and reports unguarded method calls on the recorder.
+func (w *nilGuardWalker) walk(n ast.Node, guarded bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch st := x.(type) {
+		case *ast.IfStmt:
+			w.walkIf(st, guarded)
+			return false
+		case *ast.BlockStmt:
+			w.walkList(st.List, guarded)
+			return false
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if ok && w.isRec(sel.X) && !guarded {
+				w.report(st.Pos(),
+					"exported function "+funcName(w.fd)+" calls "+w.rec.Name()+"."+sel.Sel.Name+" without a nil check; a nil Recorder (tracing off) would panic",
+					"wrap the call in `if "+w.rec.Name()+" != nil { ... }` or rebind with `if "+w.rec.Name()+" == nil { "+w.rec.Name()+" = obs.Noop{} }`")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerPermAlias flags functions that let a caller's perm.Perm / []int
+// slice escape: storing the parameter into a field, map, slice, or composite
+// literal, or returning it outright, without cloning first. Because Perm is
+// a slice, every such escape aliases the caller's backing array — a later
+// in-place mutation on either side silently corrupts the other, the classic
+// bug class behind "copy before mutate" in this repository.
+//
+// A parameter is considered safe once the function rebinds it (for example
+// `p = p.Clone()`); passing the parameter on to another function is not
+// flagged (that callee is analyzed on its own).
+var analyzerPermAlias = &Analyzer{
+	Name: "permalias",
+	Doc:  "flag storing or returning a perm.Perm/[]int parameter without cloning it",
+	Run:  runPermAlias,
+}
+
+func runPermAlias(p *Package, report Reporter) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPermAliasFunc(p, fd, report)
+		}
+	}
+}
+
+// intSliceParam reports whether t is []int or a named type whose underlying
+// type is []int (this covers perm.Perm).
+func intSliceParam(t types.Type) bool {
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().(*types.Basic)
+	return ok && basic.Kind() == types.Int
+}
+
+func checkPermAliasFunc(p *Package, fd *ast.FuncDecl, report Reporter) {
+	// Collect the []int-underlying parameters (receivers excluded: methods
+	// on Perm itself legitimately hand their receiver around).
+	params := make(map[*types.Var]string)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, ok := p.Info.Defs[name].(*types.Var)
+			if ok && intSliceParam(obj.Type()) {
+				params[obj] = name.Name
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	// A parameter that is rebound anywhere in the body (p = p.Clone(), p =
+	// append(...), ...) no longer names the caller's slice; skip it rather
+	// than risk flagging the cloned value.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if obj, isVar := identUse(p, lhs).(*types.Var); isVar {
+				delete(params, obj)
+			}
+		}
+		return true
+	})
+	if len(params) == 0 {
+		return
+	}
+	paramOf := func(e ast.Expr) (string, bool) {
+		obj, ok := identUse(p, e).(*types.Var)
+		if !ok {
+			return "", false
+		}
+		name, found := params[obj]
+		return name, found
+	}
+	const hint = "clone first (q := p.Clone() / append([]int(nil), p...)) or annotate //scglint:ignore permalias <why>"
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if name, ok := paramOf(res); ok {
+					report(res.Pos(), "function "+funcName(fd)+" returns its slice parameter "+name+" without cloning; the caller's backing array escapes", hint)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				name, ok := paramOf(rhs)
+				if !ok {
+					continue
+				}
+				switch st.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					report(rhs.Pos(), "function "+funcName(fd)+" stores its slice parameter "+name+" without cloning; the stored value aliases the caller's backing array", hint)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range st.Elts {
+				val := elt
+				if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+					val = kv.Value
+				}
+				if name, ok := paramOf(val); ok {
+					report(val.Pos(), "function "+funcName(fd)+" captures its slice parameter "+name+" in a composite literal without cloning", hint)
+				}
+			}
+		case *ast.CallExpr:
+			if id, isIdent := st.Fun.(*ast.Ident); isIdent && id.Name == "append" && p.Info.Uses[id] == types.Universe.Lookup("append") {
+				for _, arg := range st.Args[1:] {
+					if st.Ellipsis.IsValid() && arg == st.Args[len(st.Args)-1] {
+						continue // append(s, p...) copies elements, no alias
+					}
+					if name, ok := paramOf(arg); ok {
+						report(arg.Pos(), "function "+funcName(fd)+" appends its slice parameter "+name+" (an alias) to a slice without cloning", hint)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if name, ok := paramOf(st.Value); ok {
+				report(st.Value.Pos(), "function "+funcName(fd)+" sends its slice parameter "+name+" over a channel without cloning", hint)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// analyzerSimHygiene keeps the simulation engines deterministic and
+// benchmark-stable. Inside the packages matching internal/sim and
+// internal/collective it forbids:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Tick, time.After): a
+//     simulator step must be a pure function of its inputs, and wall-clock
+//     calls in hot loops also perturb benchmark numbers;
+//   - the global math/rand source (rand.Intn, rand.Float64, rand.Shuffle,
+//     ...): runs must be reproducible from an explicit seed, which is why
+//     the engines thread perm.RNG values instead. Constructing an explicit
+//     source (rand.New, rand.NewSource) is allowed.
+//
+// Measurement belongs in the obs layer (phase timers) and randomness in
+// seeded generators passed by the caller.
+var analyzerSimHygiene = &Analyzer{
+	Name: "simhygiene",
+	Doc:  "forbid time.Now and the global math/rand source in the simulation engines",
+	Run:  runSimHygiene,
+}
+
+// simHygienePackages are the import-path suffixes the analyzer applies to.
+var simHygienePackages = []string{"internal/sim", "internal/collective"}
+
+// wallClockFuncs are the time package entry points that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Tick": true, "After": true}
+
+// globalRandExempt lists math/rand selectors that construct explicit sources
+// rather than touching the shared global one.
+var globalRandExempt = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runSimHygiene(p *Package, report Reporter) {
+	if !pathHasSuffix(p.Path, simHygienePackages...) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgSelector(p, sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && wallClockFuncs[name]:
+				report(sel.Pos(),
+					"wall-clock call time."+name+" inside a simulation package breaks determinism and benchmark stability",
+					"measure wall time in the obs layer (phase timers) and keep engine steps pure")
+			case (path == "math/rand" || path == "math/rand/v2") && !globalRandExempt[name]:
+				report(sel.Pos(),
+					"global math/rand source (rand."+name+") inside a simulation package is not reproducible from a seed",
+					"thread a seeded generator (perm.NewRNG / rand.New(rand.NewSource(seed))) through the engine instead")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,6 @@
+// Package clean has nothing for any analyzer to object to; the driver must
+// exit 0 on it.
+package clean
+
+// Add is as boring as a function gets.
+func Add(a, b int) int { return a + b }

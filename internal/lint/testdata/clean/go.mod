@@ -1,0 +1,3 @@
+module fixclean
+
+go 1.22

@@ -1,0 +1,52 @@
+// Package work is a droppederr fixture: silently discarded error results
+// are findings; explicit discards and the documented allowlist are not.
+package work
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Bad drops a bare error result.
+func Bad() {
+	mayFail() //lintwant discards its error result
+}
+
+// BadPair drops the error of a multi-result call.
+func BadPair() {
+	pair() //lintwant discards its error result
+}
+
+// BadDefer drops a deferred Close error.
+func BadDefer(f *os.File) {
+	defer f.Close() //lintwant discards its error result
+}
+
+// BadGo drops the error of a goroutine body.
+func BadGo() {
+	go mayFail() //lintwant discards its error result
+}
+
+// Explicit discards visibly, which is allowed.
+func Explicit() {
+	_ = mayFail()
+}
+
+// Allowed exercises every allowlist entry.
+func Allowed() {
+	fmt.Println("hi")
+	fmt.Fprintln(os.Stderr, "warn")
+	var b strings.Builder
+	b.WriteString("y")
+	fmt.Fprintf(&b, "z")
+}
+
+// Handled returns the error, which is the usual fix.
+func Handled() error {
+	return mayFail()
+}

@@ -1,0 +1,3 @@
+module fixignore
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package sim exercises the //scglint:ignore machinery against simhygiene
+// findings: a used directive (trailing and own-line), an unused directive,
+// and a malformed one with no reason.
+package sim
+
+import "time"
+
+// SuppressedTrailing carries the directive on the flagged line.
+func SuppressedTrailing() int64 {
+	return time.Now().UnixNano() //scglint:ignore simhygiene fixture exercises trailing suppression
+}
+
+// SuppressedAbove carries the directive on the line above.
+func SuppressedAbove() int64 {
+	//scglint:ignore simhygiene fixture exercises own-line suppression
+	return time.Now().UnixNano()
+}
+
+// Unused carries a directive that suppresses nothing.
+func Unused() int {
+	//scglint:ignore simhygiene nothing on the next line fires
+	return 42
+}
+
+// Missing carries a directive without a reason, which is malformed and does
+// not suppress the finding it sits on.
+func Missing() int64 {
+	return time.Now().UnixNano() //scglint:ignore simhygiene
+}

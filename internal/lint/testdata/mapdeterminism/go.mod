@@ -1,0 +1,3 @@
+module fixmap
+
+go 1.22

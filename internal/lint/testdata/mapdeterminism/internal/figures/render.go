@@ -1,0 +1,54 @@
+// Package figures is a mapdeterminism fixture: its import path ends in
+// internal/figures, so raw map iteration feeding output is a finding unless
+// the accumulated result is sorted afterwards.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadRender streams map entries straight into the output.
+func BadRender(data map[string]float64) string {
+	var b strings.Builder
+	for name, v := range data { //lintwant map iteration order is nondeterministic
+		fmt.Fprintf(&b, "%s=%v\n", name, v)
+	}
+	return b.String()
+}
+
+// GoodSortedKeys collects the keys, sorts them, and ranges over the slice.
+func GoodSortedKeys(data map[string]float64) string {
+	keys := make([]string, 0, len(data))
+	for k := range data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%v\n", k, data[k])
+	}
+	return b.String()
+}
+
+// GoodSortAfter accumulates rows and sorts the result in the same block.
+func GoodSortAfter(data map[string]int) []string {
+	var rows []string
+	for k, v := range data {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// BadNested ranges a map inside a loop without sorting anything.
+func BadNested(runs []map[string]int) []string {
+	var rows []string
+	for _, run := range runs {
+		for k := range run { //lintwant map iteration order is nondeterministic
+			rows = append(rows, k)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,57 @@
+// Package engine is a nilrecorder fixture: exported functions taking an
+// obs.Recorder must tolerate nil (guard, early-exit, or rebind).
+package engine
+
+import "fixrec/obs"
+
+// RunBad calls the recorder without any guard.
+func RunBad(steps int, rec obs.Recorder) {
+	for i := 0; i < steps; i++ {
+		rec.OnStep(i) //lintwant without a nil check
+	}
+}
+
+// RunBadInNilBranch calls the recorder where it is provably nil.
+func RunBadInNilBranch(rec obs.Recorder) {
+	if rec == nil {
+		rec.OnEvent("boom") //lintwant without a nil check
+	}
+}
+
+// RunGuarded wraps every call in a nil check.
+func RunGuarded(steps int, rec obs.Recorder) {
+	for i := 0; i < steps; i++ {
+		if rec != nil {
+			rec.OnStep(i)
+		}
+	}
+}
+
+// RunEarlyExit returns before touching a nil recorder.
+func RunEarlyExit(rec obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.OnStep(0)
+}
+
+// RunRebind substitutes the no-op recorder up front.
+func RunRebind(rec obs.Recorder) {
+	if rec == nil {
+		rec = obs.Noop{}
+	}
+	rec.OnStep(0)
+	rec.OnEvent("done")
+}
+
+// RunConjunct guards through an && chain.
+func RunConjunct(steps int, rec obs.Recorder) {
+	if steps > 0 && rec != nil {
+		rec.OnEvent("start")
+	}
+}
+
+// RunPass forwards the recorder; the callee owns the contract.
+func RunPass(steps int, rec obs.Recorder) {
+	RunGuarded(steps, rec)
+}

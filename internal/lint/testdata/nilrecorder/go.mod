@@ -1,0 +1,3 @@
+module fixrec
+
+go 1.22

@@ -1,0 +1,15 @@
+// Package obs mirrors the real observability layer: a Recorder interface
+// whose nil value means "tracing off", plus the Noop substitute.
+package obs
+
+// Recorder receives per-step samples; nil is the documented off value.
+type Recorder interface {
+	OnStep(step int)
+	OnEvent(kind string)
+}
+
+// Noop discards everything.
+type Noop struct{}
+
+func (Noop) OnStep(int)     {}
+func (Noop) OnEvent(string) {}

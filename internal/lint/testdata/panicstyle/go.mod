@@ -1,0 +1,3 @@
+module fixpanic
+
+go 1.22

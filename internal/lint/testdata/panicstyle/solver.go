@@ -1,0 +1,40 @@
+// Package solver is a panicstyle fixture: panic messages must follow the
+// `solver: Func: message` convention when statically checkable.
+package solver
+
+import "fmt"
+
+// BadLiteral panics without naming the package or function.
+func BadLiteral() {
+	panic("something went wrong") //lintwant does not follow
+}
+
+// BadNoFunc names the package but not the function.
+func BadNoFunc(k int) {
+	panic(fmt.Sprintf("solver: k=%d too big", k)) //lintwant does not follow
+}
+
+// BadWrongPkg names a different package.
+func BadWrongPkg() {
+	panic("other: BadWrongPkg: nope") //lintwant does not follow
+}
+
+// GoodLiteral follows the convention with a plain literal.
+func GoodLiteral() {
+	panic("solver: GoodLiteral: invariant violated")
+}
+
+// GoodSprintf follows the convention with rendered arguments.
+func GoodSprintf(k int) {
+	panic(fmt.Sprintf("solver: GoodSprintf(%d): k out of range", k))
+}
+
+// GoodDynamicFunc uses a format verb for a dynamic function segment.
+func GoodDynamicFunc(name string) {
+	panic(fmt.Sprintf("solver: %s.Apply: bad call", name))
+}
+
+// Rethrow re-panics a dynamic value, which is not statically checkable.
+func Rethrow(err error) {
+	panic(err)
+}

@@ -1,0 +1,55 @@
+// Package game is a permalias fixture: Perm mirrors the real perm.Perm (a
+// named []int), and each bad case stores or returns a parameter slice
+// without cloning. Each tagged line must produce exactly one finding.
+package game
+
+// Perm stands in for repro/internal/perm.Perm.
+type Perm []int
+
+// Holder keeps a configuration alive across calls.
+type Holder struct{ cfg Perm }
+
+// StoreField aliases the caller's slice in a long-lived struct.
+func StoreField(h *Holder, p Perm) {
+	h.cfg = p //lintwant stores its slice parameter p
+}
+
+// ReturnParam leaks the caller's backing array to a second owner.
+func ReturnParam(p []int) []int {
+	return p //lintwant returns its slice parameter p
+}
+
+// Capture aliases the parameter inside a composite literal.
+func Capture(p Perm) Holder {
+	return Holder{cfg: p} //lintwant captures its slice parameter p
+}
+
+// Collect appends the alias itself into a history slice.
+func Collect(history []Perm, p Perm) []Perm {
+	return append(history, p) //lintwant appends its slice parameter p
+}
+
+// Publish sends the alias to another goroutine.
+func Publish(ch chan Perm, p Perm) {
+	ch <- p //lintwant sends its slice parameter p
+}
+
+// CloneFirst is the sanctioned pattern: rebind before storing.
+func CloneFirst(h *Holder, p Perm) {
+	p = append(Perm(nil), p...)
+	h.cfg = p
+}
+
+// ReadOnly only inspects the parameter.
+func ReadOnly(p Perm) int { return len(p) }
+
+// SpreadCopy copies elements, which cannot alias.
+func SpreadCopy(dst []int, p []int) []int {
+	return append(dst, p...)
+}
+
+// PassAlong hands the parameter to another function, which is analyzed on
+// its own.
+func PassAlong(h *Holder, p Perm) {
+	StoreField(h, p)
+}

@@ -1,0 +1,3 @@
+module fixperm
+
+go 1.22

@@ -1,0 +1,9 @@
+// Package clock sits outside internal/sim and internal/collective, so
+// simhygiene does not apply: wall-clock reads here are fine (this is where
+// the obs layer's timers live in the real tree).
+package clock
+
+import "time"
+
+// Stamp reads the wall clock outside the simulation engines.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,3 @@
+module fixsim
+
+go 1.22

@@ -1,0 +1,33 @@
+// Package sim is a simhygiene fixture: its import path ends in
+// internal/sim, so wall-clock reads and the global math/rand source are
+// findings here.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadClock reads the wall clock inside an engine.
+func BadClock() int64 {
+	return time.Now().UnixNano() //lintwant wall-clock call time.Now
+}
+
+// BadSince also reads the wall clock.
+func BadSince(t0 time.Time) time.Duration {
+	return time.Since(t0) //lintwant wall-clock call time.Since
+}
+
+// BadGlobalRand uses the shared, unseedable global source.
+func BadGlobalRand(n int) int {
+	return rand.Intn(n) //lintwant global math/rand source
+}
+
+// GoodSeeded constructs an explicit source, which is reproducible.
+func GoodSeeded(n int, seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// GoodDuration manipulates time values without reading the clock.
+func GoodDuration(d time.Duration) time.Duration { return 2 * d }
