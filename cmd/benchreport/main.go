@@ -1,0 +1,213 @@
+// Command benchreport runs the repository's headline performance
+// measurements — serial vs parallel BFS at k = 8/9/10, the three rank
+// kernels, and stretch sampling — and emits them as JSON so each PR can be
+// compared against the committed BENCH_baseline.json and the perf
+// trajectory of the exact-measurement engine stays visible.
+//
+// Entries are emitted in a fixed order (no map iteration feeds the file),
+// so two runs on the same machine differ only in the timing fields.
+//
+// Examples:
+//
+//	benchreport -out BENCH_baseline.json
+//	benchreport -quick -out bench_smoke.json   # CI smoke: k <= 8, 1 round
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Entries    []Entry `json:"benchmarks"`
+}
+
+// Entry is one measured benchmark.
+type Entry struct {
+	// Name identifies the benchmark, e.g. "bfs-parallel/star-9".
+	Name string `json:"name"`
+	// K is the permutation dimension the benchmark ran at, 0 if n/a.
+	K int `json:"k,omitempty"`
+	// Workers is the BFS worker count, 0 for serial/non-BFS entries.
+	Workers int `json:"workers,omitempty"`
+	// Rounds is how many times the measured operation ran.
+	Rounds int `json:"rounds"`
+	// NsPerOp is the mean wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Detail carries a human-oriented annotation (diameter found, pairs
+	// sampled, ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_baseline.json", "output path, or - for stdout")
+		maxK    = flag.Int("maxk", 10, "largest BFS dimension to measure (8..10)")
+		rounds  = flag.Int("rounds", 3, "rounds per BFS benchmark (best-of is not used; the mean is reported)")
+		quick   = flag.Bool("quick", false, "CI smoke mode: k <= 8, one round, fewer kernel iterations")
+		workers = flag.Int("workers", 0, "parallel BFS worker count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *quick {
+		if *maxK > 8 {
+			*maxK = 8
+		}
+		*rounds = 1
+	}
+	if *maxK < 8 {
+		*maxK = 8
+	}
+	if *maxK > 10 {
+		*maxK = 10
+	}
+
+	rep := &Report{
+		Schema:     "scg-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	kernelIters := 2_000_000
+	stretchPairs := 200
+	if *quick {
+		kernelIters = 200_000
+		stretchPairs = 50
+	}
+	rep.Entries = append(rep.Entries, rankKernels(kernelIters)...)
+	for k := 8; k <= *maxK; k++ {
+		rep.Entries = append(rep.Entries, bfsPair(k, *rounds, *workers)...)
+	}
+	rep.Entries = append(rep.Entries, stretchEntry(stretchPairs))
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		fail(err)
+		return
+	}
+	fail(os.WriteFile(*out, enc, 0o644))
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Entries))
+}
+
+// rankKernels times the three rank implementations on one fixed k = 10
+// permutation: the innermost loop of every exact measurement.
+func rankKernels(iters int) []Entry {
+	p := perm.Random(10, perm.NewRNG(1))
+	scratch := perm.NewRankScratch(10)
+	var sink int64
+
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		sink += p.Rank()
+	}
+	rank := time.Since(t0)
+
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		sink += p.RankInto(scratch)
+	}
+	rankInto := time.Since(t0)
+
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		sink += p.RankBits()
+	}
+	rankBits := time.Since(t0)
+
+	detail := fmt.Sprintf("fixed perm, checksum %d", sink%1000)
+	return []Entry{
+		{Name: "rank/lehmer-k2", K: 10, Rounds: iters, NsPerOp: nsPerOp(rank, iters), Detail: detail},
+		{Name: "rank/fenwick", K: 10, Rounds: iters, NsPerOp: nsPerOp(rankInto, iters), Detail: detail},
+		{Name: "rank/popcount", K: 10, Rounds: iters, NsPerOp: nsPerOp(rankBits, iters), Detail: detail},
+	}
+}
+
+// bfsPair measures the serial and parallel BFS engines on star(k).
+func bfsPair(k, rounds, workers int) []Entry {
+	nw, err := topology.NewStar(k)
+	fail(err)
+	g := nw.Graph()
+	src := perm.Identity(k)
+
+	var diam int
+	serial := time.Duration(0)
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		res, err := g.BFSSerial(src)
+		fail(err)
+		serial += time.Since(t0)
+		diam = res.Eccentricity
+	}
+	parallel := time.Duration(0)
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		res, err := g.BFSParallel(src, workers)
+		fail(err)
+		parallel += time.Since(t0)
+		if res.Eccentricity != diam {
+			fail(fmt.Errorf("benchreport: parallel BFS diameter %d != serial %d at k=%d", res.Eccentricity, diam, k))
+		}
+	}
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	detail := fmt.Sprintf("star(%d), %d states, diameter %d", k, perm.Factorial(k), diam)
+	return []Entry{
+		{Name: fmt.Sprintf("bfs-serial/star-%d", k), K: k, Rounds: rounds, NsPerOp: nsPerOp(serial, rounds), Detail: detail},
+		{Name: fmt.Sprintf("bfs-parallel/star-%d", k), K: k, Workers: w, Rounds: rounds, NsPerOp: nsPerOp(parallel, rounds), Detail: detail},
+	}
+}
+
+// stretchEntry times MeasureStretch on star(7): repeated shortest-path
+// searches against the solver's routes, the scratch-reuse hot path.
+func stretchEntry(pairs int) Entry {
+	nw, err := topology.NewStar(7)
+	fail(err)
+	t0 := time.Now()
+	st, err := nw.Graph().MeasureStretch(pairs, 1, func(src, dst perm.Perm) (int, error) {
+		return nw.RouteLen(src, dst)
+	})
+	fail(err)
+	elapsed := time.Since(t0)
+	return Entry{
+		Name:    "stretch/star-7",
+		K:       7,
+		Rounds:  pairs,
+		NsPerOp: nsPerOp(elapsed, pairs),
+		Detail:  fmt.Sprintf("%d pairs, mean stretch %.3f, %d optimal", st.Pairs, st.MeanStretch, st.Optimal),
+	}
+}
+
+func nsPerOp(d time.Duration, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) / float64(n)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}

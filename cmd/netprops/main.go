@@ -3,11 +3,18 @@
 // distance (BFS, when enumerable), α ratios, and the MCMP intercluster
 // profile of §4.3.
 //
+// Exact measurements run on the parallel BFS engine automatically on
+// multi-core machines. -sweep measures every enumerable instance of the
+// family up to a dimension cap, with independent instances measured
+// concurrently on a bounded worker pool and rows printed in a fixed
+// (k, l) order regardless of scheduling.
+//
 // Examples:
 //
 //	netprops -family MS -l 3 -n 2 -exact -mcmp
 //	netprops -family complete-RIS -l 4 -n 3
-//	netprops -family star -k 9 -exact
+//	netprops -family star -k 10 -exact
+//	netprops -family MS -sweep 9
 package main
 
 import (
@@ -15,9 +22,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/mcmp"
 	"repro/internal/metrics"
 	"repro/internal/perm"
+	"repro/internal/pool"
 	"repro/internal/topology"
 )
 
@@ -32,11 +41,19 @@ func main() {
 		w       = flag.Float64("w", 1.0, "per-node off-chip bandwidth for the MCMP model")
 		stretch = flag.Int("stretch", 0, "sample this many pairs and compare solver routes to exact shortest paths")
 		dot     = flag.Bool("dot", false, "write the graph in Graphviz DOT format to stdout and exit")
+		sweep   = flag.Int("sweep", 0, "measure every enumerable instance of the family with k <= this, concurrently")
+		workers = flag.Int("workers", 0, "worker-pool size for -sweep (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	fam, err := familyByName(*family)
 	fail(err)
+
+	if *sweep > 0 {
+		fail(runSweep(fam, *sweep, *workers))
+		return
+	}
+
 	nn := *n
 	if *k > 0 {
 		nn = *k - 1
@@ -61,10 +78,11 @@ func main() {
 	}
 
 	if *exact {
-		d, err := nw.Graph().Diameter()
+		// One BFS yields the whole distance profile: diameter and average
+		// distance together.
+		prof, err := nw.Graph().ExactProfile()
 		fail(err)
-		avg, err := nw.Graph().AverageDistance()
-		fail(err)
+		d, avg := prof.Eccentricity, prof.Mean
 		fmt.Printf("exact diameter:      %d\n", d)
 		fmt.Printf("exact avg distance:  %.4f\n", avg)
 		if a, err := metrics.Alpha(d, float64(nw.Nodes()), nw.Degree()); err == nil {
@@ -95,6 +113,67 @@ func main() {
 		fail(err)
 		fmt.Printf("bisection BB >=      %.1f (Theorem 4.9)\n", bb)
 	}
+}
+
+// sweepInstances enumerates every constructible instance of fam with
+// k <= maxK in deterministic (k, l) order: all (l, n) splits for super
+// Cayley families, all dimensions for nucleus-only ones.
+func sweepInstances(fam topology.Family, maxK int) ([]*topology.Network, error) {
+	var nws []*topology.Network
+	if fam.IsSuperCayley() {
+		for k := 3; k <= maxK; k++ {
+			for l := 2; l <= k-1; l++ {
+				if (k-1)%l != 0 {
+					continue
+				}
+				nw, err := topology.New(fam, l, (k-1)/l)
+				if err != nil {
+					return nil, err
+				}
+				nws = append(nws, nw)
+			}
+		}
+		return nws, nil
+	}
+	for k := 3; k <= maxK; k++ {
+		nw, err := topology.New(fam, 1, k-1)
+		if err != nil {
+			return nil, err
+		}
+		nws = append(nws, nw)
+	}
+	return nws, nil
+}
+
+// runSweep measures every enumerable instance of fam with k <= maxK. The
+// exact BFS measurements are independent, so they run concurrently on the
+// worker pool; results are gathered by index and printed in the fixed
+// enumeration order, keeping the output diff-stable.
+func runSweep(fam topology.Family, maxK, workers int) error {
+	if maxK > core.MaxExplicitK {
+		return fmt.Errorf("netprops: -sweep %d exceeds MaxExplicitK=%d", maxK, core.MaxExplicitK)
+	}
+	nws, err := sweepInstances(fam, maxK)
+	if err != nil {
+		return err
+	}
+	if len(nws) == 0 {
+		return fmt.Errorf("netprops: no enumerable %v instances with k <= %d", fam, maxK)
+	}
+	profiles, err := pool.Map(len(nws), workers, func(i int) (*core.BFSResult, error) {
+		return nws[i].Graph().ExactProfile()
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exact sweep: %v instances with k <= %d\n", fam, maxK)
+	fmt.Printf("%-20s %3s %9s %7s %9s %9s\n", "network", "k", "N", "degree", "diameter", "avg dist")
+	for i, nw := range nws {
+		p := profiles[i]
+		fmt.Printf("%-20s %3d %9d %7d %9d %9.4f\n",
+			nw.Name(), nw.K(), nw.Nodes(), nw.Degree(), p.Eccentricity, p.Mean)
+	}
+	return nil
 }
 
 func familyByName(name string) (topology.Family, error) {

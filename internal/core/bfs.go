@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/perm"
 )
@@ -43,7 +44,25 @@ func meanFromHistogram(hist []int64) float64 {
 
 // BFS runs a breadth-first search over the whole k!-state space from node
 // src, using unit link weights. It errors if k exceeds MaxExplicitK.
+//
+// BFS dispatches between the two engines: the serial reference
+// implementation (BFSSerial) below parallelBFSThreshold states or on a
+// single-core runtime, and the level-synchronous parallel engine
+// (BFSParallel) above it. The two produce bit-for-bit identical results
+// (see TestParallelSerialEquivalence), so callers never observe the switch.
 func (g *Graph) BFS(src perm.Perm) (*BFSResult, error) {
+	if g.Order() >= parallelBFSThreshold && runtime.GOMAXPROCS(0) > 1 {
+		return g.BFSParallel(src, 0)
+	}
+	return g.BFSSerial(src)
+}
+
+// BFSSerial is the single-threaded reference BFS engine. The queue and
+// distance array are preallocated to the full k! order up front (the search
+// visits every reachable state, so the queue's final length is known), and
+// ranking uses the allocation-free popcount kernel; the loop allocates only
+// when the histogram grows past its small initial capacity.
+func (g *Graph) BFSSerial(src perm.Perm) (*BFSResult, error) {
 	k := g.K()
 	if k > MaxExplicitK {
 		return nil, fmt.Errorf("core: BFS: k=%d exceeds MaxExplicitK=%d (%d states)", k, MaxExplicitK, perm.Factorial(k))
@@ -58,13 +77,13 @@ func (g *Graph) BFS(src perm.Perm) (*BFSResult, error) {
 	}
 	srcRank := src.Rank()
 	dist[srcRank] = 0
-	queue := make([]int64, 1, 1024)
+	queue := make([]int64, 1, n)
 	queue[0] = srcRank
 	cur := make(perm.Perm, k)
 	next := make(perm.Perm, k)
 	scratch := make([]int, k)
-	var hist []int64
-	hist = append(hist, 1)
+	hist := make([]int64, 1, maxPlausibleDiameter)
+	hist[0] = 1
 	reachable := int64(1)
 	for head := 0; head < len(queue); head++ {
 		r := queue[head]
@@ -72,7 +91,7 @@ func (g *Graph) BFS(src perm.Perm) (*BFSResult, error) {
 		perm.UnrankInto(k, r, cur, scratch)
 		for _, gp := range g.genPerms {
 			cur.ComposeInto(gp, next)
-			nr := next.Rank()
+			nr := next.RankBits()
 			if dist[nr] < 0 {
 				dist[nr] = d + 1
 				for len(hist) <= int(d)+1 {
@@ -93,6 +112,12 @@ func (g *Graph) BFS(src perm.Perm) (*BFSResult, error) {
 		Dist:         dist,
 	}, nil
 }
+
+// maxPlausibleDiameter sizes the initial distance histogram: no generator
+// set we build exceeds this eccentricity at k <= MaxExplicitK (bubble-sort
+// graphs peak at k(k-1)/2 = 45 for k = 10); the histogram still grows past
+// it if a search proves otherwise.
+const maxPlausibleDiameter = 64
 
 // Diameter returns the exact diameter via BFS from the identity, exploiting
 // vertex-transitivity. It errors for disconnected graphs or k >
@@ -119,6 +144,22 @@ func (g *Graph) AverageDistance() (float64, error) {
 		return 0, fmt.Errorf("core: AverageDistance: graph is not strongly connected")
 	}
 	return res.Mean, nil
+}
+
+// ExactProfile runs one BFS from the identity and returns the full distance
+// profile, erroring if the graph is not strongly connected. Callers that
+// need both the diameter (Eccentricity) and average distance (Mean) should
+// use this instead of Diameter + AverageDistance, which each run their own
+// full BFS.
+func (g *Graph) ExactProfile() (*BFSResult, error) {
+	res, err := g.BFS(perm.Identity(g.K()))
+	if err != nil {
+		return nil, err
+	}
+	if res.Reachable != g.Order() {
+		return nil, fmt.Errorf("core: ExactProfile: graph is not strongly connected (%d of %d reachable)", res.Reachable, g.Order())
+	}
+	return res, nil
 }
 
 // BFSWeighted runs a 0/1-weight shortest-path search (deque BFS) where link
@@ -165,7 +206,7 @@ func (g *Graph) BFSWeighted(src perm.Perm, weight []int) (*BFSResult, error) {
 		perm.UnrankInto(k, r, cur, scratch)
 		for i, gp := range g.genPerms {
 			cur.ComposeInto(gp, next)
-			nr := next.Rank()
+			nr := next.RankBits()
 			nd := d + int32(weight[i])
 			if dist[nr] < 0 || nd < dist[nr] {
 				dist[nr] = nd

@@ -1,0 +1,198 @@
+// Parallel-vs-serial BFS equivalence across every network family. This
+// lives in an external test package so it can build instances through
+// internal/topology (which imports core) without an import cycle; the CI
+// race step runs it as `go test -run TestParallelSerialEquivalence -race
+// ./internal/core`.
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+// equivalenceInstances enumerates every constructible instance with
+// k <= maxK: each super Cayley family at every (l, n) with l >= 2, n >= 1,
+// and each nucleus-only family at every dimension.
+func equivalenceInstances(t *testing.T, maxK int) []*topology.Network {
+	t.Helper()
+	var nws []*topology.Network
+	for _, fam := range topology.AllSuperCayleyFamilies() {
+		for l := 2; l*1+1 <= maxK; l++ {
+			for n := 1; l*n+1 <= maxK; n++ {
+				nw, err := topology.New(fam, l, n)
+				if err != nil {
+					t.Fatalf("New(%v, %d, %d): %v", fam, l, n, err)
+				}
+				nws = append(nws, nw)
+			}
+		}
+	}
+	for k := 3; k <= maxK; k++ {
+		for _, mk := range []func(int) (*topology.Network, error){
+			topology.NewStar, topology.NewRotator, topology.NewPancake,
+			topology.NewBubbleSort, topology.NewTranspositionNet, topology.NewIS,
+		} {
+			nw, err := mk(k)
+			if err != nil {
+				t.Fatalf("nucleus family at k=%d: %v", k, err)
+			}
+			nws = append(nws, nw)
+		}
+	}
+	return nws
+}
+
+// TestParallelSerialEquivalence checks that BFSParallel returns a
+// reflect.DeepEqual-identical BFSResult to the serial reference engine for
+// every family at every enumerable size with k <= 8, across several worker
+// counts (including workers > frontier width, which exercises the shard
+// clamping).
+func TestParallelSerialEquivalence(t *testing.T) {
+	maxK := 8
+	if testing.Short() {
+		maxK = 6
+	}
+	for _, nw := range equivalenceInstances(t, maxK) {
+		g := nw.Graph()
+		src := perm.Identity(g.K())
+		want, err := g.BFSSerial(src)
+		if err != nil {
+			t.Fatalf("%s: serial BFS: %v", g.Name(), err)
+		}
+		for _, workers := range []int{1, 2, 3, 7} {
+			got, err := g.BFSParallel(src, workers)
+			if err != nil {
+				t.Fatalf("%s: parallel BFS (workers=%d): %v", g.Name(), workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: parallel BFS (workers=%d) differs from serial:\nparallel: ecc=%d reach=%d hist=%v mean=%v\nserial:   ecc=%d reach=%d hist=%v mean=%v",
+					g.Name(), workers,
+					got.Eccentricity, got.Reachable, got.Histogram, got.Mean,
+					want.Eccentricity, want.Reachable, want.Histogram, want.Mean)
+			}
+		}
+	}
+}
+
+// TestParallelSerialEquivalenceK9Smoke runs one k = 9 instance (362,880
+// states) through both engines — large enough that the parallel path is the
+// one BFS would actually dispatch to on a multi-core machine.
+func TestParallelSerialEquivalenceK9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=9 smoke skipped in -short mode")
+	}
+	nw, err := topology.NewStar(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := nw.Graph()
+	src := perm.Identity(9)
+	want, err := g.BFSSerial(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.BFSParallel(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("star(9): parallel BFS differs from serial: ecc %d vs %d, reach %d vs %d",
+			got.Eccentricity, want.Eccentricity, got.Reachable, want.Reachable)
+	}
+}
+
+// TestBFSDispatch pins the engine-selection contract: BFS must agree with
+// the serial reference on both sides of parallelBFSThreshold.
+func TestBFSDispatch(t *testing.T) {
+	for _, k := range []int{5, 8} {
+		nw, err := topology.NewStar(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := nw.Graph()
+		got, err := g.BFS(perm.Identity(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := g.BFSSerial(perm.Identity(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("star(%d): BFS dispatch result differs from serial reference", k)
+		}
+	}
+}
+
+// TestExactProfileMatchesDiameterAndAverage checks the single-BFS profile
+// against the two dedicated measurements it replaces.
+func TestExactProfileMatchesDiameterAndAverage(t *testing.T) {
+	nw, err := topology.NewMS(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := nw.Graph()
+	prof, err := g.ExactProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := g.AverageDistance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Eccentricity != d || prof.Mean != avg {
+		t.Fatalf("ExactProfile = (diam %d, avg %v), want (%d, %v)", prof.Eccentricity, prof.Mean, d, avg)
+	}
+	if prof.Reachable != g.Order() {
+		t.Fatalf("ExactProfile reachable = %d, want %d", prof.Reachable, g.Order())
+	}
+}
+
+func BenchmarkBFSSerial(b *testing.B) {
+	for _, k := range []int{8, 9} {
+		b.Run(starName(k), func(b *testing.B) {
+			g := starGraph(b, k)
+			src := perm.Identity(k)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.BFSSerial(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBFSParallel(b *testing.B) {
+	for _, k := range []int{8, 9} {
+		b.Run(starName(k), func(b *testing.B) {
+			g := starGraph(b, k)
+			src := perm.Identity(k)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.BFSParallel(src, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func starName(k int) string { return "star-" + string(rune('0'+k)) }
+
+func starGraph(b *testing.B, k int) *core.Graph {
+	b.Helper()
+	nw, err := topology.NewStar(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw.Graph()
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/perm"
+)
+
+// fuzzGenUniverse lists every generator constructible at dimension k that
+// the fuzzer may pick: transpositions, position swaps, and prefix reversals
+// (all self-inverse) plus insertion/selection rotations (mutual inverses).
+func fuzzGenUniverse(k int) []gen.Generator {
+	var universe []gen.Generator
+	for i := 2; i <= k; i++ {
+		universe = append(universe,
+			gen.NewTransposition(i),
+			gen.NewPrefixReversal(i),
+			gen.NewInsertion(i),
+			gen.NewSelection(i),
+		)
+	}
+	for i := 1; i < k; i++ {
+		for j := i + 1; j <= k; j++ {
+			universe = append(universe, gen.NewPositionSwap(i, j))
+		}
+	}
+	return universe
+}
+
+// FuzzParallelBFS drives both BFS engines over Cayley graphs of random
+// inverse-closed generator sets at k <= 7 and requires identical histogram,
+// eccentricity, mean, and distance arrays. Sets that do not generate S_k
+// are kept: equivalence must hold on disconnected state spaces too.
+func FuzzParallelBFS(f *testing.F) {
+	f.Add(uint8(4), uint64(1), uint8(2))
+	f.Add(uint8(6), uint64(42), uint8(3))
+	f.Add(uint8(7), uint64(7), uint8(5))
+	f.Fuzz(func(t *testing.T, rawK uint8, seed uint64, rawCount uint8) {
+		k := 2 + int(rawK)%6 // 2..7
+		universe := fuzzGenUniverse(k)
+		rng := perm.NewRNG(seed)
+		count := 1 + int(rawCount)%4
+
+		// Pick generators, then close the set under inversion so the graph
+		// is undirected in the paper's sense.
+		var picked []gen.Generator
+		seen := map[string]bool{}
+		add := func(g gen.Generator) {
+			key := g.AsPerm(k).String()
+			if key == perm.Identity(k).String() || seen[key] {
+				return
+			}
+			seen[key] = true
+			picked = append(picked, g)
+		}
+		for i := 0; i < count; i++ {
+			g := universe[rng.Intn(len(universe))]
+			add(g)
+			add(g.Inverse(k))
+		}
+		if len(picked) == 0 {
+			t.Skip("all picks degenerate")
+		}
+		set, err := gen.NewSet(k, picked...)
+		if err != nil {
+			t.Fatalf("NewSet(k=%d, %v): %v", k, picked, err)
+		}
+		if !set.IsInverseClosed() {
+			t.Fatalf("set %v not inverse-closed after closure", set)
+		}
+		g := NewGraph("fuzz", set)
+
+		src := perm.Random(k, rng)
+		serial, err := g.BFSSerial(src)
+		if err != nil {
+			t.Fatalf("serial BFS: %v", err)
+		}
+		workers := 1 + int(seed%4)
+		parallel, err := g.BFSParallel(src, workers)
+		if err != nil {
+			t.Fatalf("parallel BFS (workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(parallel.Histogram, serial.Histogram) {
+			t.Fatalf("histogram mismatch on %s from %v:\nparallel %v\nserial   %v", g, src, parallel.Histogram, serial.Histogram)
+		}
+		if parallel.Eccentricity != serial.Eccentricity {
+			t.Fatalf("eccentricity mismatch: parallel %d, serial %d", parallel.Eccentricity, serial.Eccentricity)
+		}
+		if parallel.Mean != serial.Mean {
+			t.Fatalf("mean mismatch: parallel %v, serial %v", parallel.Mean, serial.Mean)
+		}
+		if !reflect.DeepEqual(parallel.Dist, serial.Dist) {
+			t.Fatalf("distance array mismatch on %s from %v", g, src)
+		}
+	})
+}

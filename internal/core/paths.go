@@ -6,6 +6,33 @@ import (
 	"repro/internal/perm"
 )
 
+// pathScratch bundles the k!-sized buffers one ShortestPath search needs —
+// predecessor and via arrays, the BFS queue, and the permutation kernels'
+// working space — so repeated searches (MeasureStretch samples hundreds of
+// pairs) reuse one allocation instead of re-allocating ~9·k! bytes per pair.
+type pathScratch struct {
+	via   []int8
+	pred  []int64
+	queue []int64
+	cur   perm.Perm
+	next  perm.Perm
+	tmp   []int
+}
+
+// newPathScratch allocates search buffers sized for g.
+func (g *Graph) newPathScratch() *pathScratch {
+	k := g.K()
+	n := perm.Factorial(k)
+	return &pathScratch{
+		via:   make([]int8, n),
+		pred:  make([]int64, n),
+		queue: make([]int64, 0, n),
+		cur:   make(perm.Perm, k),
+		next:  make(perm.Perm, k),
+		tmp:   make([]int, k),
+	}
+}
+
 // ShortestPath returns a minimum-hop generator-index sequence from src to
 // dst, found by BFS over the full state space (k <= MaxExplicitK). It is
 // the exact-routing oracle used to measure how far the game solvers are
@@ -15,25 +42,27 @@ func (g *Graph) ShortestPath(src, dst perm.Perm) ([]int, error) {
 	if k > MaxExplicitK {
 		return nil, fmt.Errorf("core: ShortestPath: k=%d exceeds MaxExplicitK", k)
 	}
+	return g.shortestPathInto(src, dst, g.newPathScratch())
+}
+
+// shortestPathInto is ShortestPath against caller-owned scratch buffers.
+func (g *Graph) shortestPathInto(src, dst perm.Perm, ps *pathScratch) ([]int, error) {
+	k := g.K()
 	if len(src) != k || len(dst) != k {
 		return nil, fmt.Errorf("core: ShortestPath: label size mismatch")
 	}
 	if src.Equal(dst) {
 		return nil, nil
 	}
-	n := perm.Factorial(k)
 	// BFS from src recording the generator used to reach each node.
-	via := make([]int8, n)
-	pred := make([]int64, n)
+	via, pred := ps.via, ps.pred
 	for i := range pred {
 		pred[i] = -1
 	}
 	srcRank, dstRank := src.Rank(), dst.Rank()
 	pred[srcRank] = srcRank
-	queue := []int64{srcRank}
-	cur := make(perm.Perm, k)
-	next := make(perm.Perm, k)
-	scratch := make([]int, k)
+	queue := append(ps.queue[:0], srcRank)
+	cur, next, scratch := ps.cur, ps.next, ps.tmp
 	found := false
 search:
 	for head := 0; head < len(queue); head++ {
@@ -41,7 +70,7 @@ search:
 		perm.UnrankInto(k, r, cur, scratch)
 		for gi, gp := range g.genPerms {
 			cur.ComposeInto(gp, next)
-			nr := next.Rank()
+			nr := next.RankBits()
 			if pred[nr] < 0 {
 				pred[nr] = r
 				via[nr] = int8(gi)
@@ -53,6 +82,7 @@ search:
 			}
 		}
 	}
+	ps.queue = queue[:0]
 	if !found {
 		return nil, fmt.Errorf("core: ShortestPath: %v unreachable from %v", dst, src)
 	}
@@ -101,13 +131,15 @@ func (g *Graph) MeasureStretch(pairs int, seed uint64, route func(src, dst perm.
 	rng := perm.NewRNG(seed)
 	st := &StretchStats{}
 	var sum float64
+	// One set of k!-sized search buffers serves every sampled pair.
+	ps := g.newPathScratch()
 	for i := 0; i < pairs; i++ {
 		src := perm.Random(k, rng)
 		dst := perm.Random(k, rng)
 		if src.Equal(dst) {
 			continue
 		}
-		exactPath, err := g.ShortestPath(src, dst)
+		exactPath, err := g.shortestPathInto(src, dst, ps)
 		if err != nil {
 			return nil, err
 		}

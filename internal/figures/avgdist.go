@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/topology"
 )
 
@@ -26,58 +27,67 @@ type AvgDistanceRow struct {
 
 // AvgDistanceTable measures the exact average distance of every super
 // Cayley family at (l,n) plus the star graph of the same k, and reports the
-// Theorem 4.7 ratios. All instances must satisfy k <= 10.
+// Theorem 4.7 ratios. All instances must satisfy k <= 10. The independent
+// instances are measured concurrently and gathered in the fixed order.
 func AvgDistanceTable(l, n int) ([]AvgDistanceRow, error) {
 	k := l*n + 1
-	var rows []AvgDistanceRow
-	add := func(nw *topology.Network) error {
-		avg, err := nw.Graph().AverageDistance()
-		if err != nil {
-			return fmt.Errorf("%s: %v", nw.Name(), err)
-		}
-		// Directed graphs pack distance layers with branching d rather than
-		// d-1; use the matching Moore bound.
-		var lb float64
-		if nw.Undirected() {
-			lb, err = metrics.AvgDistanceLowerBound(float64(nw.Nodes()), nw.Degree())
-		} else {
-			lb, err = metrics.AvgDistanceLowerBoundDirected(float64(nw.Nodes()), nw.Degree())
-		}
-		if err != nil {
-			return fmt.Errorf("%s: %v", nw.Name(), err)
-		}
-		th, err := metrics.PinLimitedThroughput(1, avg)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, AvgDistanceRow{
-			Network:    nw.Name(),
-			Nodes:      nw.Nodes(),
-			Degree:     nw.Degree(),
-			AvgDist:    avg,
-			LowerBound: lb,
-			Ratio:      avg / lb,
-			Throughput: th,
-		})
-		return nil
+	nws, err := instancesWithStar(k, l, n)
+	if err != nil {
+		return nil, err
 	}
+	return pool.Map(len(nws), 0, func(i int) (AvgDistanceRow, error) {
+		return avgDistanceRow(nws[i])
+	})
+}
+
+func avgDistanceRow(nw *topology.Network) (AvgDistanceRow, error) {
+	avg, err := nw.Graph().AverageDistance()
+	if err != nil {
+		return AvgDistanceRow{}, fmt.Errorf("%s: %v", nw.Name(), err)
+	}
+	// Directed graphs pack distance layers with branching d rather than
+	// d-1; use the matching Moore bound.
+	var lb float64
+	if nw.Undirected() {
+		lb, err = metrics.AvgDistanceLowerBound(float64(nw.Nodes()), nw.Degree())
+	} else {
+		lb, err = metrics.AvgDistanceLowerBoundDirected(float64(nw.Nodes()), nw.Degree())
+	}
+	if err != nil {
+		return AvgDistanceRow{}, fmt.Errorf("%s: %v", nw.Name(), err)
+	}
+	th, err := metrics.PinLimitedThroughput(1, avg)
+	if err != nil {
+		return AvgDistanceRow{}, err
+	}
+	return AvgDistanceRow{
+		Network:    nw.Name(),
+		Nodes:      nw.Nodes(),
+		Degree:     nw.Degree(),
+		AvgDist:    avg,
+		LowerBound: lb,
+		Ratio:      avg / lb,
+		Throughput: th,
+	}, nil
+}
+
+// instancesWithStar builds the fixed instance order shared by the §4
+// tables: the star graph of dimension k, then every super Cayley family at
+// (l, n) in paper order.
+func instancesWithStar(k, l, n int) ([]*topology.Network, error) {
 	star, err := topology.NewStar(k)
 	if err != nil {
 		return nil, err
 	}
-	if err := add(star); err != nil {
-		return nil, err
-	}
+	nws := []*topology.Network{star}
 	for _, fam := range topology.AllSuperCayleyFamilies() {
 		nw, err := topology.New(fam, l, n)
 		if err != nil {
 			return nil, err
 		}
-		if err := add(nw); err != nil {
-			return nil, err
-		}
+		nws = append(nws, nw)
 	}
-	return rows, nil
+	return nws, nil
 }
 
 // RenderAvgDistanceTable renders the Theorem 4.7 table as aligned text.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/topology"
 )
 
@@ -24,68 +25,55 @@ type CompareRow struct {
 
 // CompareTable builds the comparison for all nine super Cayley families
 // plus the star graph of the same k. When exact is true (k <= 10) the
-// diameters and average distances are measured by BFS.
+// diameter and average distance come from one BFS per instance
+// (ExactProfile); the independent instances run concurrently and the rows
+// keep the fixed order.
 func CompareTable(l, n int, exact bool) ([]CompareRow, error) {
 	k := l*n + 1
-	var rows []CompareRow
-	add := func(nw *topology.Network) error {
-		row := CompareRow{
-			Network:       nw.Name(),
-			Nodes:         nw.Nodes(),
-			Degree:        nw.Degree(),
-			DiameterBound: nw.DiameterUpperBound(),
-			ExactDiameter: -1,
-		}
-		if nw.Degree() >= 3 {
-			var dl float64
-			var err error
-			if nw.Undirected() {
-				dl, err = metrics.DL(float64(nw.Nodes()), nw.Degree())
-			} else {
-				dl, err = metrics.DLDirected(float64(nw.Nodes()), nw.Degree())
-			}
-			if err == nil && dl > 0 {
-				row.DL = dl
-			}
-		}
-		if exact {
-			d, err := nw.Graph().Diameter()
-			if err != nil {
-				return fmt.Errorf("%s: %v", nw.Name(), err)
-			}
-			row.ExactDiameter = d
-			avg, err := nw.Graph().AverageDistance()
-			if err != nil {
-				return fmt.Errorf("%s: %v", nw.Name(), err)
-			}
-			row.ExactAvgDist = avg
-			if row.DL > 0 {
-				row.Alpha = float64(d) / row.DL
-			}
-			row.Cost = nw.Degree() * d
-		} else {
-			row.Cost = nw.Degree() * row.DiameterBound
-		}
-		rows = append(rows, row)
-		return nil
-	}
-	star, err := topology.NewStar(k)
+	nws, err := instancesWithStar(k, l, n)
 	if err != nil {
 		return nil, err
 	}
-	if err := add(star); err != nil {
-		return nil, err
+	return pool.Map(len(nws), 0, func(i int) (CompareRow, error) {
+		return compareRow(nws[i], exact)
+	})
+}
+
+func compareRow(nw *topology.Network, exact bool) (CompareRow, error) {
+	row := CompareRow{
+		Network:       nw.Name(),
+		Nodes:         nw.Nodes(),
+		Degree:        nw.Degree(),
+		DiameterBound: nw.DiameterUpperBound(),
+		ExactDiameter: -1,
 	}
-	for _, fam := range topology.AllSuperCayleyFamilies() {
-		nw, err := topology.New(fam, l, n)
+	if nw.Degree() >= 3 {
+		var dl float64
+		var err error
+		if nw.Undirected() {
+			dl, err = metrics.DL(float64(nw.Nodes()), nw.Degree())
+		} else {
+			dl, err = metrics.DLDirected(float64(nw.Nodes()), nw.Degree())
+		}
+		if err == nil && dl > 0 {
+			row.DL = dl
+		}
+	}
+	if exact {
+		prof, err := nw.Graph().ExactProfile()
 		if err != nil {
-			return nil, err
+			return CompareRow{}, fmt.Errorf("%s: %v", nw.Name(), err)
 		}
-		if err := add(nw); err != nil {
-			return nil, err
+		row.ExactDiameter = prof.Eccentricity
+		row.ExactAvgDist = prof.Mean
+		if row.DL > 0 {
+			row.Alpha = float64(prof.Eccentricity) / row.DL
 		}
+		row.Cost = nw.Degree() * prof.Eccentricity
+	} else {
+		row.Cost = nw.Degree() * row.DiameterBound
 	}
-	return rows, nil
+	return row, nil
 }
 
 // RenderCompareTable renders the comparison as aligned text.

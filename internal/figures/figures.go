@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/topology"
 )
 
@@ -187,29 +188,50 @@ func Fig6Cost() ([]Series, error) {
 
 // ExactDiameterOverlay computes exact BFS diameters for every super Cayley
 // paper-parameter instance with k <= maxK (the measured points that validate
-// the Figure 5 bound curves).
+// the Figure 5 bound curves). Independent instances are measured
+// concurrently on a bounded worker pool; results are gathered by index and
+// rendered in the fixed family/parameter order, so the emitted series are
+// byte-identical to a serial run.
 func ExactDiameterOverlay(maxK int) ([]Series, error) {
-	var out []Series
-	for _, fam := range []topology.Family{topology.MS, topology.RR, topology.RIS} {
-		s := Series{Name: fam.String() + " (exact)"}
+	fams := []topology.Family{topology.MS, topology.RR, topology.RIS}
+	type job struct {
+		fam  topology.Family
+		l, n int
+	}
+	var jobs []job
+	for _, fam := range fams {
 		for _, p := range paperParams {
-			k := p.L*p.N + 1
-			if k > maxK {
-				continue
+			if p.L*p.N+1 <= maxK {
+				jobs = append(jobs, job{fam, p.L, p.N})
 			}
-			nw, err := topology.New(fam, p.L, p.N)
-			if err != nil {
-				return nil, err
+		}
+	}
+	points, err := pool.Map(len(jobs), 0, func(i int) (Point, error) {
+		j := jobs[i]
+		nw, err := topology.New(j.fam, j.l, j.n)
+		if err != nil {
+			return Point{}, err
+		}
+		d, err := nw.Graph().Diameter()
+		if err != nil {
+			return Point{}, err
+		}
+		return Point{
+			Log2N: log2Factorial(j.l*j.n + 1),
+			Value: float64(d),
+			Label: nw.Name(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Series
+	for _, fam := range fams {
+		s := Series{Name: fam.String() + " (exact)"}
+		for i, j := range jobs {
+			if j.fam == fam {
+				s.Points = append(s.Points, points[i])
 			}
-			d, err := nw.Graph().Diameter()
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Point{
-				Log2N: log2Factorial(k),
-				Value: float64(d),
-				Label: nw.Name(),
-			})
 		}
 		out = append(out, s)
 	}

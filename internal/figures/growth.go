@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/pool"
 	"repro/internal/topology"
 )
 
@@ -23,12 +24,15 @@ type GrowthRow struct {
 // DiameterGrowthTable measures the exact diameter of each family at every
 // enumerable size up to maxK, choosing for super Cayley families the most
 // balanced (l,n) split of each k (Theorem 4.4's optimum). Only sizes with
-// at least two boxes are reported for the super families.
+// at least two boxes are reported for the super families. Instances are
+// independent, so they are measured concurrently on a bounded worker pool
+// — one BFS each via ExactProfile — and gathered by index so the table
+// rows keep the fixed family-major order.
 func DiameterGrowthTable(maxK int, fams []topology.Family) ([]GrowthRow, error) {
 	if maxK > 10 {
 		return nil, fmt.Errorf("figures: DiameterGrowthTable: maxK %d exceeds BFS reach", maxK)
 	}
-	var rows []GrowthRow
+	var nws []*topology.Network
 	for _, fam := range fams {
 		for k := 4; k <= maxK; k++ {
 			var nw *topology.Network
@@ -50,26 +54,25 @@ func DiameterGrowthTable(maxK int, fams []topology.Family) ([]GrowthRow, error) 
 			if err != nil {
 				return nil, err
 			}
-			d, err := nw.Graph().Diameter()
-			if err != nil {
-				return nil, err
-			}
-			avg, err := nw.Graph().AverageDistance()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, GrowthRow{
-				Network:  nw.Name(),
-				K:        k,
-				Nodes:    nw.Nodes(),
-				Degree:   nw.Degree(),
-				Diameter: d,
-				AvgDist:  avg,
-				Log2N:    log2Factorial(k),
-			})
+			nws = append(nws, nw)
 		}
 	}
-	return rows, nil
+	return pool.Map(len(nws), 0, func(i int) (GrowthRow, error) {
+		nw := nws[i]
+		prof, err := nw.Graph().ExactProfile()
+		if err != nil {
+			return GrowthRow{}, err
+		}
+		return GrowthRow{
+			Network:  nw.Name(),
+			K:        nw.K(),
+			Nodes:    nw.Nodes(),
+			Degree:   nw.Degree(),
+			Diameter: prof.Eccentricity,
+			AvgDist:  prof.Mean,
+			Log2N:    log2Factorial(nw.K()),
+		}, nil
+	})
 }
 
 // balancedSplit picks the (l,n) with l,n >= 2, nl = k-1, minimizing |l-n|;

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/topology"
 )
 
@@ -45,10 +46,12 @@ func Table1(maxK int) ([]Table1Row, error) {
 		{Network: "2-D torus", AlphaFormula: "Θ(√N / log N) → ∞", AlphaLimit: math.Inf(1)},
 		{Network: "3-D torus", AlphaFormula: "Θ(N^{1/3} / log N) → ∞", AlphaLimit: math.Inf(1)},
 	}
-	for i := range rows {
-		if err := measureRow(&rows[i], maxK); err != nil {
-			return nil, err
-		}
+	// Each row's measurement is an independent exact-BFS instance; run them
+	// on the worker pool and keep the fixed row order.
+	if _, err := pool.Map(len(rows), 0, func(i int) (struct{}, error) {
+		return struct{}{}, measureRow(&rows[i], maxK)
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

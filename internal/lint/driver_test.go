@@ -30,7 +30,7 @@ func TestDriverExitCodeContract(t *testing.T) {
 		}
 		text := out.String()
 		for _, want := range []string{
-			"engine.go:13:", // time.Now finding carries file:line
+			"engine.go:14:", // time.Now finding carries file:line
 			"[simhygiene]",
 			"wall-clock call time.Now",
 			"global math/rand source",

@@ -16,6 +16,13 @@ import (
 //     the engines thread perm.RNG values instead. Constructing an explicit
 //     source (rand.New, rand.NewSource) is allowed.
 //
+// The rule is syntactic, so it applies identically inside goroutines:
+// concurrent engine code that gives each worker its own explicitly seeded
+// source (rand.New(rand.NewSource(seed+worker)), or a per-worker perm.RNG
+// as the parallel BFS engine does) is fine, while touching the shared
+// global source from a goroutine is still flagged — it is both
+// unreproducible and a cross-goroutine contention point.
+//
 // Measurement belongs in the obs layer (phase timers) and randomness in
 // seeded generators passed by the caller.
 var analyzerSimHygiene = &Analyzer{

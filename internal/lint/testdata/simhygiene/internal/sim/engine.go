@@ -5,6 +5,7 @@ package sim
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -27,6 +28,30 @@ func BadGlobalRand(n int) int {
 func GoodSeeded(n int, seed int64) int {
 	r := rand.New(rand.NewSource(seed))
 	return r.Intn(n)
+}
+
+// BadSharedRandInGoroutine touches the shared global source from a worker
+// goroutine: unreproducible from a seed and a contention point besides.
+func BadSharedRandInGoroutine(n int, out chan<- int) {
+	go func() {
+		out <- rand.Intn(n) //lintwant global math/rand source
+	}()
+}
+
+// GoodPerWorkerSeeded is the sanctioned concurrent pattern: every worker
+// owns an explicitly seeded source derived from the run seed, so the run
+// is reproducible per worker regardless of scheduling.
+func GoodPerWorkerSeeded(workers, n int, seed int64, out []int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(w)))
+			out[w] = r.Intn(n)
+		}(w)
+	}
+	wg.Wait()
 }
 
 // GoodDuration manipulates time values without reading the clock.

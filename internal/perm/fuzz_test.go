@@ -34,6 +34,13 @@ func FuzzRankUnrank(f *testing.F) {
 		if !dst.Equal(p) {
 			t.Fatalf("UnrankInto(%d, %d) = %v, Unrank = %v", k, rank, dst, p)
 		}
+
+		if got := p.RankInto(NewRankScratch(k)); got != rank {
+			t.Fatalf("RankInto(Unrank(%d, %d)) = %d", k, rank, got)
+		}
+		if got := p.RankBits(); got != rank {
+			t.Fatalf("RankBits(Unrank(%d, %d)) = %d", k, rank, got)
+		}
 	})
 }
 

@@ -83,6 +83,75 @@ func TestUnrankIntoMatchesUnrank(t *testing.T) {
 	}
 }
 
+func TestRankIntoMatchesRankExhaustive(t *testing.T) {
+	// The Fenwick and popcount kernels agree with the reference O(k²) Rank
+	// on every permutation for k <= 6.
+	for k := 1; k <= 6; k++ {
+		s := NewRankScratch(k)
+		ForEach(k, func(p Perm) bool {
+			want := p.Rank()
+			if got := p.RankInto(s); got != want {
+				t.Fatalf("RankInto(%v) = %d, Rank = %d", p, got, want)
+			}
+			if got := p.RankBits(); got != want {
+				t.Fatalf("RankBits(%v) = %d, Rank = %d", p, got, want)
+			}
+			return true
+		})
+	}
+}
+
+func TestRankIntoMatchesRankRandomLargeK(t *testing.T) {
+	rng := NewRNG(13)
+	for k := 7; k <= MaxRankK; k++ {
+		s := NewRankScratch(k)
+		for trial := 0; trial < 50; trial++ {
+			p := Random(k, rng)
+			want := p.Rank()
+			if got := p.RankInto(s); got != want {
+				t.Fatalf("k=%d: RankInto(%v) = %d, Rank = %d", k, p, got, want)
+			}
+			if got := p.RankBits(); got != want {
+				t.Fatalf("k=%d: RankBits(%v) = %d, Rank = %d", k, p, got, want)
+			}
+		}
+	}
+}
+
+func TestRankIntoScratchReuseAcrossSizes(t *testing.T) {
+	// A scratch sized for the largest k serves smaller permutations too,
+	// which is how BFS workers share one scratch per goroutine.
+	s := NewRankScratch(MaxRankK)
+	rng := NewRNG(14)
+	for k := 1; k <= MaxRankK; k++ {
+		p := Random(k, rng)
+		if got, want := p.RankInto(s), p.Rank(); got != want {
+			t.Fatalf("k=%d with shared scratch: RankInto = %d, Rank = %d", k, got, want)
+		}
+	}
+}
+
+func TestRankIntoPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"nil scratch", func() { Identity(3).RankInto(nil) }},
+		{"undersized scratch", func() { Identity(5).RankInto(NewRankScratch(3)) }},
+		{"NewRankScratch k=0", func() { NewRankScratch(0) }},
+		{"NewRankScratch k too large", func() { NewRankScratch(MaxRankK + 1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
 func TestUnrankPanics(t *testing.T) {
 	for _, c := range []struct {
 		k    int
@@ -194,6 +263,48 @@ func BenchmarkRank(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = p.Rank()
+	}
+}
+
+func BenchmarkRankInto(b *testing.B) {
+	p := Random(10, NewRNG(1))
+	s := NewRankScratch(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.RankInto(s)
+	}
+}
+
+func BenchmarkRankBits(b *testing.B) {
+	p := Random(10, NewRNG(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.RankBits()
+	}
+}
+
+func BenchmarkRankBitsK20(b *testing.B) {
+	p := Random(20, NewRNG(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.RankBits()
+	}
+}
+
+func BenchmarkRankK20(b *testing.B) {
+	p := Random(20, NewRNG(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Rank()
+	}
+}
+
+func BenchmarkRankIntoK20(b *testing.B) {
+	p := Random(20, NewRNG(1))
+	s := NewRankScratch(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.RankInto(s)
 	}
 }
 

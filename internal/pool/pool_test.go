@@ -1,0 +1,110 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 16} {
+		got, err := Map(10, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := []int{0, 1, 4, 9, 16, 25, 36, 49, 64, 81}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Map = %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{2, 8} {
+		_, err := Map(20, workers, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errB
+			case 3:
+				return 0, errA
+			}
+			return i, nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	_, err := Map(10, 1, func(i int) (int, error) {
+		calls++
+		if i == 4 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 5 {
+		t.Fatalf("serial path ran %d calls after error, want 5", calls)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int64
+	_, err := Map(50, workers, func(i int) (int, error) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		atomic.AddInt64(&inFlight, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt64(&peak); p > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", p, workers)
+	}
+}
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	counts := make([]int64, 100)
+	_, err := Map(len(counts), 7, func(i int) (struct{}, error) {
+		atomic.AddInt64(&counts[i], 1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("fn(%d) ran %d times", i, c)
+		}
+	}
+}
+
+func ExampleMap() {
+	squares, _ := Map(4, 2, func(i int) (int, error) { return i * i, nil })
+	fmt.Println(squares)
+	// Output: [0 1 4 9]
+}
