@@ -1,19 +1,33 @@
-// Command scglint is the project's static-analysis suite: six custom
-// analyzers (permalias, panicstyle, nilrecorder, droppederr, simhygiene,
-// mapdeterminism) that machine-check the repository's correctness
-// conventions using only the standard library's go/ast, go/parser, go/token,
-// and go/types.
+// Command scglint is the project's static-analysis suite: ten custom
+// analyzers that machine-check the repository's correctness conventions
+// using only the standard library's go/ast, go/parser, go/token, and
+// go/types. Six guard sequential conventions (permalias, panicstyle,
+// nilrecorder, droppederr, simhygiene, mapdeterminism); four are
+// concurrency-aware (goroutinecapture, atomicmix, waitgrouplint,
+// boundedspawn), enforcing the parallel measurement engine's discipline:
+// no shared scratch captured by concurrent closures, no mixed
+// atomic/plain access, Add-before-spawn / Done-in-defer, and all
+// goroutine fan-out routed through the audited internal/pool chokepoint.
 //
 // Usage:
 //
 //	go run ./cmd/scglint ./...
 //	go run ./cmd/scglint -json ./...
+//	go run ./cmd/scglint -sarif ./... > scglint.sarif
+//	go run ./cmd/scglint -diff ./...          # preview suggested fixes
+//	go run ./cmd/scglint -fix ./...           # apply suggested fixes
 //	go run ./cmd/scglint -only permalias,droppederr ./...
 //	go run ./cmd/scglint -list -v
 //
 // The driver exits 0 when the tree is clean, 1 when findings were reported,
-// and 2 when the module could not be loaded. Findings can be suppressed with
-// an audited directive on (or directly above) the flagged line:
+// and 2 when the module could not be loaded or the flags are invalid.
+// Several findings carry machine-applyable fixes (loop-variable rebinds,
+// clone-before-capture, relocating WaitGroup Add/Done); -fix applies the
+// non-overlapping subset and -diff previews the same edits as a unified
+// diff without writing. -sarif emits a SARIF 2.1.0 log for CI code-scanning
+// annotation. Findings can be suppressed with an audited directive on the
+// flagged statement (trailing, or on its own line above — covering the
+// statement's full line span when it wraps):
 //
 //	//scglint:ignore <analyzer> <reason>
 //

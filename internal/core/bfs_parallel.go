@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/perm"
+	"repro/internal/pool"
 )
 
 // parallelBFSThreshold is the graph order below which BFS keeps using the
@@ -27,17 +27,21 @@ type bfsWorker struct {
 // BFSParallel is the level-synchronous parallel BFS engine. workers <= 0
 // means runtime.GOMAXPROCS(0).
 //
-// Each level's frontier is split into contiguous shards, one per worker.
-// A worker expands its shard with private buffers, claiming newly reached
-// nodes by an atomic compare-and-swap on the shared int32 distance array
-// (-1 -> level+1); exactly one worker wins each node, and whichever wins
-// writes the same distance, because every frontier node sits at exactly the
-// current level. Claimed nodes go to the worker's local next-frontier
-// slice; at the level barrier the local slices are concatenated in worker
-// order. Node order inside a frontier may differ from the serial queue, but
-// the *set* of nodes per level — and therefore the distance array, the
-// histogram, and every derived statistic — is identical bit-for-bit to
-// BFSSerial's.
+// Each level's frontier is split into contiguous shards, one per worker,
+// and the per-level fan-out runs on the audited pool.Each chokepoint (the
+// measurement packages spawn no raw goroutines; scglint's boundedspawn
+// analyzer enforces this). A worker expands its shard with private buffers,
+// claiming newly reached nodes by an atomic compare-and-swap on the shared
+// int32 distance array (-1 -> level+1); exactly one worker wins each node,
+// and whichever wins writes the same distance, because every frontier node
+// sits at exactly the current level. pool.Each calls the shard function
+// exactly once per shard index, so the per-shard buffer ws[wi] is touched
+// by exactly one goroutine. Claimed nodes go to the shard's local
+// next-frontier slice; at the level barrier the local slices are
+// concatenated in shard order. Node order inside a frontier may differ from
+// the serial queue, but the *set* of nodes per level — and therefore the
+// distance array, the histogram, and every derived statistic — is identical
+// bit-for-bit to BFSSerial's.
 func (g *Graph) BFSParallel(src perm.Perm, workers int) (*BFSResult, error) {
 	k := g.K()
 	if k > MaxExplicitK {
@@ -73,45 +77,39 @@ func (g *Graph) BFSParallel(src perm.Perm, workers int) (*BFSResult, error) {
 	hist[0] = 1
 	reachable := int64(1)
 
-	var wg sync.WaitGroup
 	for level := int32(0); len(frontier) > 0; level++ {
 		active := workers
 		if len(frontier) < active {
 			active = len(frontier)
 		}
 		shard := (len(frontier) + active - 1) / active
-		for wi := 0; wi < active; wi++ {
+		// ceil-division can leave trailing workers with nothing (e.g. 11
+		// nodes over 7 workers = 6 shards of 2); shards counts only the
+		// non-empty ones.
+		shards := (len(frontier) + shard - 1) / shard
+		part := frontier
+		d := level + 1
+		pool.Each(shards, shards, func(wi int) {
 			lo := wi * shard
-			if lo >= len(frontier) {
-				// ceil-division can leave trailing workers with nothing
-				// (e.g. 11 nodes over 7 workers = 6 shards of 2).
-				active = wi
-				break
-			}
 			hi := lo + shard
-			if hi > len(frontier) {
-				hi = len(frontier)
+			if hi > len(part) {
+				hi = len(part)
 			}
-			wg.Add(1)
-			go func(w *bfsWorker, part []int64) {
-				defer wg.Done()
-				w.out = w.out[:0]
-				d := level + 1
-				for _, r := range part {
-					perm.UnrankInto(k, r, w.cur, w.scratch)
-					for _, gp := range g.genPerms {
-						w.cur.ComposeInto(gp, w.next)
-						nr := w.next.RankBits()
-						if atomic.CompareAndSwapInt32(&dist[nr], -1, d) {
-							w.out = append(w.out, nr)
-						}
+			w := ws[wi]
+			w.out = w.out[:0]
+			for _, r := range part[lo:hi] {
+				perm.UnrankInto(k, r, w.cur, w.scratch)
+				for _, gp := range g.genPerms {
+					w.cur.ComposeInto(gp, w.next)
+					nr := w.next.RankBits()
+					if atomic.CompareAndSwapInt32(&dist[nr], -1, d) {
+						w.out = append(w.out, nr)
 					}
 				}
-			}(ws[wi], frontier[lo:hi])
-		}
-		wg.Wait()
+			}
+		})
 		next := spare[:0]
-		for wi := 0; wi < active; wi++ {
+		for wi := 0; wi < shards; wi++ {
 			next = append(next, ws[wi].out...)
 		}
 		if len(next) > 0 {

@@ -93,6 +93,20 @@ func pathHasSuffix(path string, suffixes ...string) bool {
 	return false
 }
 
+// importsPackage reports whether the package directly imports path. It is
+// the cheap pre-gate for analyzers whose trigger syntax requires naming a
+// package (sync/atomic calls, sync type declarations): packages without the
+// import skip the sweep entirely, which is what keeps the ten-analyzer run
+// near the six-analyzer cost.
+func importsPackage(p *Package, path string) bool {
+	for _, im := range p.Types.Imports() {
+		if im.Path() == path {
+			return true
+		}
+	}
+	return false
+}
+
 // identUse resolves an identifier to its object, or nil.
 func identUse(p *Package, e ast.Expr) types.Object {
 	id, ok := e.(*ast.Ident)

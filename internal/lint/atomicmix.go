@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerAtomicMix flags state that is accessed through sync/atomic in one
+// function but read or written directly in another — the bug class a
+// CAS-claimed array invites: once one access path is atomic, every access
+// from code that can run concurrently with it must be atomic too (or both
+// sides must share a mutex), or the direct access is a data race the race
+// detector only catches on the schedules that happen to collide.
+//
+// Scope and heuristics, tuned against the parallel BFS engine's sanctioned
+// idioms:
+//
+//   - only struct fields and package-level variables are tracked. Function
+//     locals (the BFS dist array, pool's work counter) establish
+//     happens-before at the enclosing join (pool.Each returns, wg.Wait),
+//     and their direct pre-spawn initialization is the normal pattern;
+//   - direct accesses in the same function as an atomic access are allowed
+//     for the same reason — initialization and post-join reads bracket the
+//     concurrent phase inside one function;
+//   - functions that take a lock (any .Lock()/.RLock() call) are treated
+//     as mutex-guarded and exempt, as are constructors (New...) and init
+//     functions, where the value is not yet shared.
+//
+// There is no machine fix: whether the right repair is atomic.Load/Store
+// everywhere or one mutex around both sides is a design decision.
+var analyzerAtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag fields accessed atomically in one function and directly in another",
+	Run:  runAtomicMix,
+}
+
+// atomicSite records where an object is accessed atomically.
+type atomicSite struct {
+	funcs map[*ast.FuncDecl]bool
+	// inFunc names one such function for the message.
+	inFunc string
+}
+
+func runAtomicMix(p *Package, report Reporter) {
+	// Atomic access paths can only be spelled through the sync/atomic
+	// qualifier, so packages without the import have nothing to mix.
+	if !importsPackage(p, "sync/atomic") {
+		return
+	}
+	ix := p.index()
+
+	// Pass 1: objects whose address feeds a sync/atomic call, and the set
+	// of expression nodes forming those atomic access paths (so pass 2 can
+	// tell an atomic use from a direct one).
+	sites := make(map[types.Object]*atomicSite)
+	atomicExprs := make(map[ast.Node]bool)
+	for _, c := range ix.calls {
+		path, _, ok := pkgSelector(p, c.node.Fun)
+		if !ok || path != "sync/atomic" || len(c.node.Args) == 0 {
+			continue
+		}
+		ua, isAddr := c.node.Args[0].(*ast.UnaryExpr)
+		if !isAddr || ua.Op != token.AND {
+			continue
+		}
+		obj, base := addressedObject(p, ua.X)
+		if obj == nil || !trackedObject(p, obj) {
+			continue
+		}
+		markAtomicPath(atomicExprs, ua.X, base)
+		s := sites[obj]
+		if s == nil {
+			s = &atomicSite{funcs: make(map[*ast.FuncDecl]bool)}
+			sites[obj] = s
+		}
+		if c.fn != nil {
+			s.funcs[c.fn] = true
+			if s.inFunc == "" {
+				s.inFunc = funcName(c.fn)
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	// Mutex-guarded functions are exempt wholesale.
+	guarded := make(map[*ast.FuncDecl]bool)
+	for _, c := range ix.calls {
+		if sel, ok := c.node.Fun.(*ast.SelectorExpr); ok && c.fn != nil &&
+			(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			guarded[c.fn] = true
+		}
+	}
+
+	// Pass 2: direct uses of the tracked objects in other functions. A
+	// selector's Sel identifier also appears in Info.Uses and a struct
+	// literal's field keys are uses without access semantics; both are
+	// pre-marked as handled so each access reports once, at the access site.
+	for _, fd := range ix.funcDecls {
+		if fd.Body == nil || guarded[fd] || constructorFunc(fd) {
+			continue
+		}
+		handled := make(map[ast.Node]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if atomicExprs[n] {
+				return true
+			}
+			var obj types.Object
+			switch t := n.(type) {
+			case *ast.CompositeLit:
+				for _, el := range t.Elts {
+					if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+						handled[kv.Key] = true
+					}
+				}
+				return true
+			case *ast.SelectorExpr:
+				handled[t.Sel] = true
+				obj = selectedObject(p, t)
+			case *ast.Ident:
+				if handled[t] {
+					return true
+				}
+				obj = p.Info.Uses[t]
+			default:
+				return true
+			}
+			s, tracked := sites[obj]
+			if !tracked || s.funcs[fd] {
+				return true
+			}
+			report(n.Pos(),
+				"direct access to "+obj.Name()+", which "+s.inFunc+" accesses through sync/atomic; mixing the two is a data race",
+				"use sync/atomic for every access (atomic.Load/Store), or guard both sides with one mutex")
+			return true
+		})
+	}
+}
+
+// addressedObject resolves the object at the root of an addressable access
+// path (x, x.f, x.f[i], dist[nr]) and the base node carrying its name.
+func addressedObject(p *Package, e ast.Expr) (types.Object, ast.Node) {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return p.Info.Uses[t], t
+	case *ast.SelectorExpr:
+		return selectedObject(p, t), t
+	case *ast.IndexExpr:
+		return addressedObject(p, t.X)
+	case *ast.ParenExpr:
+		return addressedObject(p, t.X)
+	}
+	return nil, nil
+}
+
+// selectedObject resolves x.f to the field (or package-level var) object.
+func selectedObject(p *Package, sel *ast.SelectorExpr) types.Object {
+	if s, ok := p.Info.Selections[sel]; ok {
+		return s.Obj()
+	}
+	// Package-qualified name (pkg.Var).
+	return p.Info.Uses[sel.Sel]
+}
+
+// trackedObject restricts the analysis to state with cross-function
+// identity: struct fields and package-level variables.
+func trackedObject(p *Package, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Parent() == p.Types.Scope()
+}
+
+// markAtomicPath records the nodes of one atomic access path so pass 2
+// does not double-report the atomic access itself: the addressed
+// expression, its base selector/ident, and the selector's Sel ident.
+func markAtomicPath(set map[ast.Node]bool, addressed ast.Expr, base ast.Node) {
+	set[addressed] = true
+	set[base] = true
+	if sel, ok := base.(*ast.SelectorExpr); ok {
+		set[sel.Sel] = true
+		set[sel.X] = true
+	}
+}
+
+// constructorFunc reports whether fd is a constructor or initializer, where
+// the value under construction is not yet shared.
+func constructorFunc(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return name == "init" || (len(name) >= 3 && name[:3] == "New")
+}

@@ -1,0 +1,31 @@
+package lint
+
+// analyzerBoundedSpawn keeps parallelism behind one audited chokepoint. The
+// measurement packages (internal/core, internal/sim, internal/figures) must
+// not contain raw `go` statements: unbounded fan-out there has produced
+// core-count-dependent memory spikes, and every concurrency invariant the
+// repository proves (index-ordered gathering, exactly-once per-index state,
+// deterministic error selection) lives in internal/pool. Code that needs a
+// goroutine routes it through pool.Map (gathered results) or pool.Each
+// (side effects over per-index state), where the spawn discipline is tested
+// once; internal/pool itself — the chokepoint — is outside the analyzer's
+// scope, as is everything else that is not a measurement package.
+var analyzerBoundedSpawn = &Analyzer{
+	Name: "boundedspawn",
+	Doc:  "forbid raw go statements in the measurement packages; use internal/pool",
+	Run:  runBoundedSpawn,
+}
+
+// boundedSpawnPackages are the import-path suffixes the analyzer covers.
+var boundedSpawnPackages = []string{"internal/core", "internal/sim", "internal/figures"}
+
+func runBoundedSpawn(p *Package, report Reporter) {
+	if !pathHasSuffix(p.Path, boundedSpawnPackages...) {
+		return
+	}
+	for _, g := range p.index().goStmts {
+		report(g.node.Pos(),
+			"raw go statement in a measurement package bypasses the audited internal/pool chokepoint",
+			"fan out with pool.Each(n, workers, fn) for per-index side effects or pool.Map for gathered results")
+	}
+}

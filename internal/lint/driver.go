@@ -28,6 +28,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		sarifOut = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+		applyFix = fs.Bool("fix", false, "apply suggested fixes to the source tree")
+		diffOut  = fs.Bool("diff", false, "print suggested fixes as a unified diff without writing (dry run)")
 		only     = fs.String("only", "", "comma-separated analyzers to run (default: all)")
 		skip     = fs.String("skip", "", "comma-separated analyzers to skip")
 		list     = fs.Bool("list", false, "list analyzers and exit")
@@ -46,12 +49,26 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		for _, a := range Analyzers() {
 			if *showDocs {
-				_, _ = fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+				_, _ = fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
 			} else {
 				_, _ = fmt.Fprintln(stdout, a.Name)
 			}
 		}
 		return ExitClean
+	}
+	exclusive := 0
+	for _, on := range []bool{*jsonOut, *sarifOut, *diffOut} {
+		if on {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		_, _ = fmt.Fprintln(stderr, "scglint: -json, -sarif, and -diff are mutually exclusive")
+		return ExitError
+	}
+	if *applyFix && (*jsonOut || *sarifOut) {
+		_, _ = fmt.Fprintln(stderr, "scglint: -fix cannot be combined with -json or -sarif")
+		return ExitError
 	}
 	analyzers, err := selectAnalyzers(*only, *skip)
 	if err != nil {
@@ -64,7 +81,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return ExitError
 	}
 	findings := Run(m, analyzers)
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -74,12 +92,32 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			_, _ = fmt.Fprintln(stderr, "scglint:", err)
 			return ExitError
 		}
-	} else {
+	case *sarifOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifLogFor(m, analyzers, findings)); err != nil {
+			_, _ = fmt.Fprintln(stderr, "scglint:", err)
+			return ExitError
+		}
+	case *diffOut:
+		WriteDiff(stdout, m, PlanFixes(m, findings))
+	default:
 		for _, f := range findings {
 			_, _ = fmt.Fprintln(stdout, f)
 		}
 		if len(findings) > 0 {
 			_, _ = fmt.Fprintf(stdout, "scglint: %d finding(s) in %s\n", len(findings), m.Path)
+		}
+	}
+	if *applyFix && !*diffOut {
+		res := PlanFixes(m, findings)
+		if err := WriteFixes(res); err != nil {
+			_, _ = fmt.Fprintln(stderr, "scglint:", err)
+			return ExitError
+		}
+		if res.Applied > 0 || res.Skipped > 0 {
+			_, _ = fmt.Fprintf(stdout, "scglint: applied %d fix(es) to %d file(s), skipped %d; re-run to verify convergence\n",
+				res.Applied, len(res.Changed), res.Skipped)
 		}
 	}
 	if len(findings) > 0 {
@@ -99,7 +137,7 @@ func selectAnalyzers(only, skip string) ([]*Analyzer, error) {
 			name = strings.TrimSpace(name)
 			a, ok := analyzerByName(name)
 			if !ok {
-				return nil, fmt.Errorf("selectAnalyzers: unknown analyzer %q", name)
+				return nil, unknownAnalyzerError(name)
 			}
 			out = append(out, a)
 		}
@@ -112,7 +150,7 @@ func selectAnalyzers(only, skip string) ([]*Analyzer, error) {
 			continue
 		}
 		if _, ok := analyzerByName(name); !ok {
-			return nil, fmt.Errorf("selectAnalyzers: unknown analyzer %q", name)
+			return nil, unknownAnalyzerError(name)
 		}
 		skipped[name] = true
 	}
@@ -123,4 +161,11 @@ func selectAnalyzers(only, skip string) ([]*Analyzer, error) {
 		}
 	}
 	return out, nil
+}
+
+// unknownAnalyzerError names the rejected analyzer and lists the valid ones,
+// so a typo in a CI config is diagnosable from the failure message alone.
+func unknownAnalyzerError(name string) error {
+	return fmt.Errorf("selectAnalyzers: unknown analyzer %q (valid: %s)",
+		name, strings.Join(AnalyzerNames(), ", "))
 }

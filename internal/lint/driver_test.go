@@ -3,6 +3,8 @@ package lint
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -92,14 +94,144 @@ func TestDriverJSON(t *testing.T) {
 // TestDriverSelection checks -only and -skip narrow the analyzer set.
 func TestDriverSelection(t *testing.T) {
 	var out, errOut bytes.Buffer
-	// simhygiene fixture has only simhygiene findings; skipping it must
-	// leave the tree clean.
-	if code := Main([]string{"-skip", "simhygiene", "-C", "testdata/simhygiene"}, &out, &errOut); code != ExitClean {
-		t.Fatalf("-skip simhygiene: exit code = %d, want %d\n%s", code, ExitClean, out.String())
+	// The simhygiene fixture trips simhygiene (wall clock, global rand) and
+	// boundedspawn (raw go statements under internal/sim); skipping both
+	// must leave the tree clean.
+	if code := Main([]string{"-skip", "simhygiene,boundedspawn", "-C", "testdata/simhygiene"}, &out, &errOut); code != ExitClean {
+		t.Fatalf("-skip simhygiene,boundedspawn: exit code = %d, want %d\n%s", code, ExitClean, out.String())
 	}
 	out.Reset()
 	if code := Main([]string{"-only", "permalias", "-C", "testdata/simhygiene"}, &out, &errOut); code != ExitClean {
 		t.Fatalf("-only permalias: exit code = %d, want %d\n%s", code, ExitClean, out.String())
+	}
+}
+
+// TestDriverUnknownAnalyzerMessage pins the -only/-skip error contract: an
+// unknown name exits 2 and the message carries the full valid-name list, so
+// a typo in a CI config is self-diagnosing.
+func TestDriverUnknownAnalyzerMessage(t *testing.T) {
+	for _, flagName := range []string{"-only", "-skip"} {
+		var out, errOut bytes.Buffer
+		code := Main([]string{flagName, "boundedspwan", "-C", "testdata/clean"}, &out, &errOut)
+		if code != ExitError {
+			t.Fatalf("%s boundedspwan: exit code = %d, want %d", flagName, code, ExitError)
+		}
+		msg := errOut.String()
+		if !strings.Contains(msg, `unknown analyzer "boundedspwan"`) {
+			t.Errorf("%s: error does not name the bad analyzer: %q", flagName, msg)
+		}
+		for _, name := range AnalyzerNames() {
+			if !strings.Contains(msg, name) {
+				t.Errorf("%s: error is missing valid name %s: %q", flagName, name, msg)
+			}
+		}
+	}
+	// An empty element in -only is a hard error too (likely a stray comma).
+	var out, errOut bytes.Buffer
+	if code := Main([]string{"-only", "permalias,", "-C", "testdata/clean"}, &out, &errOut); code != ExitError {
+		t.Fatalf("-only permalias,: exit code = %d, want %d", code, ExitError)
+	}
+}
+
+// TestDriverOutputModesExclusive checks -json/-sarif/-diff reject each
+// other, and -fix rejects the machine-output modes.
+func TestDriverOutputModesExclusive(t *testing.T) {
+	for _, args := range [][]string{
+		{"-json", "-sarif"},
+		{"-json", "-diff"},
+		{"-sarif", "-diff"},
+		{"-fix", "-json"},
+		{"-fix", "-sarif"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := Main(append(args, "-C", "testdata/clean"), &out, &errOut); code != ExitError {
+			t.Errorf("%v: exit code = %d, want %d", args, code, ExitError)
+		}
+	}
+}
+
+// copyFixFixture clones testdata/fix (sans goldens) into a temp module so
+// -fix can write without touching the checked-in fixture.
+func copyFixFixture(t *testing.T) string {
+	t.Helper()
+	tmp := t.TempDir()
+	entries, err := os.ReadDir(filepath.Join("testdata", "fix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".golden") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", "fix", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tmp
+}
+
+// TestDriverFixConverges runs `scglint -fix` on a scratch copy of the fix
+// fixture: the first run reports findings (exit 1) and rewrites the tree,
+// the second run is clean (exit 0).
+func TestDriverFixConverges(t *testing.T) {
+	tmp := copyFixFixture(t)
+	var out, errOut bytes.Buffer
+	if code := Main([]string{"-fix", "-C", tmp}, &out, &errOut); code != ExitFindings {
+		t.Fatalf("first -fix run: exit code = %d, want %d (stderr: %s)", code, ExitFindings, errOut.String())
+	}
+	if !strings.Contains(out.String(), "applied") {
+		t.Errorf("first run did not report applied fixes:\n%s", out.String())
+	}
+	out.Reset()
+	if code := Main([]string{"-C", tmp}, &out, &errOut); code != ExitClean {
+		t.Fatalf("second run after -fix: exit code = %d, want %d\n%s", code, ExitClean, out.String())
+	}
+	// The rewritten files match the goldens byte for byte.
+	for _, name := range []string{"capture.go", "waitgroup.go"} {
+		got, err := os.ReadFile(filepath.Join(tmp, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", "fix", name+".golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s after -fix differs from golden:\n%s", name, got)
+		}
+	}
+}
+
+// TestDriverDiffIsDryRun checks -diff prints the planned edits without
+// modifying the tree, including under -fix.
+func TestDriverDiffIsDryRun(t *testing.T) {
+	tmp := copyFixFixture(t)
+	before, err := os.ReadFile(filepath.Join(tmp, "capture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := Main([]string{"-fix", "-diff", "-C", tmp}, &out, &errOut); code != ExitFindings {
+		t.Fatalf("-fix -diff: exit code = %d, want %d (stderr: %s)", code, ExitFindings, errOut.String())
+	}
+	if !strings.Contains(out.String(), "+++ b/capture.go") {
+		t.Errorf("diff output missing hunk header:\n%s", out.String())
+	}
+	after, err := os.ReadFile(filepath.Join(tmp, "capture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("-diff modified the tree; it must be a dry run")
+	}
+	// A clean tree yields an empty diff and exit 0 — the CI fix-clean gate.
+	out.Reset()
+	if code := Main([]string{"-fix", "-diff", "-C", "testdata/clean"}, &out, &errOut); code != ExitClean || out.Len() != 0 {
+		t.Errorf("clean tree: exit=%d out=%q, want 0 and empty", code, out.String())
 	}
 }
 

@@ -29,39 +29,31 @@ var analyzerDroppedErr = &Analyzer{
 }
 
 func runDroppedErr(p *Package, report Reporter) {
-	for _, file := range p.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			var call *ast.CallExpr
-			var how string
-			switch st := n.(type) {
-			case *ast.ExprStmt:
-				call, _ = st.X.(*ast.CallExpr)
-				how = "call"
-			case *ast.GoStmt:
-				call = st.Call
-				how = "go statement"
-			case *ast.DeferStmt:
-				call = st.Call
-				how = "deferred call"
-			default:
-				return true
-			}
-			if call == nil {
-				return true
-			}
-			tv, ok := p.Info.Types[call]
-			if !ok || !resultDropsError(tv.Type) {
-				return true
-			}
-			if droppedErrAllowed(p, call) {
-				return true
-			}
-			report(call.Pos(),
-				how+" to "+callName(p, call)+" discards its error result",
-				"handle the error, or make the discard explicit with `_ = ...` plus a comment")
-			return true
-		})
+	ix := p.index()
+	for _, e := range ix.exprStmts {
+		if call, ok := e.node.X.(*ast.CallExpr); ok {
+			checkDroppedErr(p, call, "call", report)
+		}
 	}
+	for _, g := range ix.goStmts {
+		checkDroppedErr(p, g.node.Call, "go statement", report)
+	}
+	for _, d := range ix.deferStmts {
+		checkDroppedErr(p, d.node.Call, "deferred call", report)
+	}
+}
+
+func checkDroppedErr(p *Package, call *ast.CallExpr, how string, report Reporter) {
+	tv, ok := p.Info.Types[call]
+	if !ok || !resultDropsError(tv.Type) {
+		return
+	}
+	if droppedErrAllowed(p, call) {
+		return
+	}
+	report(call.Pos(),
+		how+" to "+callName(p, call)+" discards its error result",
+		"handle the error, or make the discard explicit with `_ = ...` plus a comment")
 }
 
 // droppedErrAllowed implements the allowlist documented on the analyzer.

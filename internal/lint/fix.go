@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// relPath renders file relative to root with forward slashes (diff and
+// SARIF output must not depend on the checkout location or OS).
+func relPath(root, file string) (string, error) {
+	r, err := filepath.Rel(root, file)
+	if err != nil {
+		return "", err
+	}
+	return filepath.ToSlash(r), nil
+}
+
+// The suggested-fix engine.
+//
+// Analyzers describe repairs abstractly (token positions plus an edit
+// shape); Run resolves them against the retained sources into byte-offset
+// TextEdits, so the driver can apply them (-fix), render them (-diff), or
+// ship them in -json/-sarif output without another analysis pass.
+//
+// Three edit shapes cover every fix the analyzers emit:
+//
+//   - replace: substitute the bytes of a source range;
+//   - insert line above: add a full line directly above the line holding a
+//     position, copying that line's indentation (loop-var rebinds,
+//     clone-before-capture, defer insertion);
+//   - delete line: remove the full line holding a position (relocating a
+//     misplaced wg.Add / wg.Done).
+//
+// Fixes are applied non-overlapping: the first finding (in position order)
+// wins a contested region and later overlapping fixes are skipped, matching
+// the "apply, re-run, converge" workflow.
+
+// editKind discriminates the abstract edit shapes.
+type editKind int
+
+const (
+	editReplace editKind = iota
+	editInsertLineAbove
+	editDeleteLine
+)
+
+// editSpec is one abstract edit, resolved by resolveFix.
+type editSpec struct {
+	kind editKind
+	pos  token.Pos
+	end  token.Pos // editReplace only
+	text string    // editReplace, editInsertLineAbove
+}
+
+// fixSpec is the analyzer-side description of a repair.
+type fixSpec struct {
+	message string
+	edits   []editSpec
+}
+
+// replaceEdit substitutes the source range [pos, end) with text.
+func replaceEdit(pos, end token.Pos, text string) editSpec {
+	return editSpec{kind: editReplace, pos: pos, end: end, text: text}
+}
+
+// insertLineAbove adds text as a full line directly above the line holding
+// pos, reusing that line's indentation.
+func insertLineAbove(pos token.Pos, text string) editSpec {
+	return editSpec{kind: editInsertLineAbove, pos: pos, text: text}
+}
+
+// deleteLine removes the entire line holding pos.
+func deleteLine(pos token.Pos) editSpec {
+	return editSpec{kind: editDeleteLine, pos: pos}
+}
+
+// fix bundles a one-line description with its edits.
+func fix(message string, edits ...editSpec) *fixSpec {
+	return &fixSpec{message: message, edits: edits}
+}
+
+// lineStartOffset returns the byte offset of the first column of the line
+// holding position (Column is a 1-based byte count).
+func lineStartOffset(position token.Position) int {
+	return position.Offset - (position.Column - 1)
+}
+
+// lineIndent returns the leading horizontal whitespace of the line starting
+// at offset start.
+func lineIndent(src []byte, start int) string {
+	i := start
+	for i < len(src) && (src[i] == ' ' || src[i] == '\t') {
+		i++
+	}
+	return string(src[start:i])
+}
+
+// lineEndOffset returns the offset one past the line's terminating newline
+// (or len(src) for a final line without one).
+func lineEndOffset(src []byte, start int) int {
+	if i := bytes.IndexByte(src[start:], '\n'); i >= 0 {
+		return start + i + 1
+	}
+	return len(src)
+}
+
+// resolveFix turns an abstract fixSpec into byte-offset TextEdits against
+// the module's retained sources. It returns nil (dropping the fix, never
+// the finding) if any position lands in a file the loader did not retain.
+func resolveFix(m *Module, spec *fixSpec) *SuggestedFix {
+	out := &SuggestedFix{Message: spec.message}
+	for _, e := range spec.edits {
+		position := m.Fset.Position(e.pos)
+		src, ok := m.Source(position.Filename)
+		if !ok {
+			return nil
+		}
+		switch e.kind {
+		case editReplace:
+			endPos := m.Fset.Position(e.end)
+			if endPos.Filename != position.Filename || endPos.Offset < position.Offset {
+				return nil
+			}
+			out.Edits = append(out.Edits, TextEdit{
+				File: position.Filename, Start: position.Offset, End: endPos.Offset, NewText: e.text,
+			})
+		case editInsertLineAbove:
+			start := lineStartOffset(position)
+			out.Edits = append(out.Edits, TextEdit{
+				File: position.Filename, Start: start, End: start,
+				NewText: lineIndent(src, start) + e.text + "\n",
+			})
+		case editDeleteLine:
+			start := lineStartOffset(position)
+			out.Edits = append(out.Edits, TextEdit{
+				File: position.Filename, Start: start, End: lineEndOffset(src, start),
+			})
+		}
+	}
+	return out
+}
+
+// FixResult summarizes a fix application pass.
+type FixResult struct {
+	// Changed maps file paths to their post-fix contents (only files some
+	// accepted edit touched).
+	Changed map[string][]byte
+	// Applied and Skipped count whole fixes; a fix is skipped when any of
+	// its edits overlaps an already accepted fix.
+	Applied, Skipped int
+}
+
+// overlaps reports whether [aStart,aEnd) and [bStart,bEnd) collide. Pure
+// insertions (start == end) collide with any range they fall strictly
+// inside of, and with another insertion at the same offset.
+func overlaps(aStart, aEnd, bStart, bEnd int) bool {
+	if aStart == aEnd && bStart == bEnd {
+		return aStart == bStart
+	}
+	return aStart < bEnd && bStart < aEnd
+}
+
+// PlanFixes selects a maximal prefix-greedy set of non-overlapping fixes
+// from findings (in their given order) and returns the rewritten file
+// contents. The working tree is not touched; WriteFixes persists the
+// result.
+func PlanFixes(m *Module, findings []Finding) FixResult {
+	res := FixResult{Changed: make(map[string][]byte)}
+	type span struct{ start, end int }
+	accepted := make(map[string][]span)
+	edits := make(map[string][]TextEdit)
+	for _, f := range findings {
+		if f.Fix == nil || len(f.Fix.Edits) == 0 {
+			continue
+		}
+		conflict := false
+		for _, e := range f.Fix.Edits {
+			for _, s := range accepted[e.File] {
+				if overlaps(e.Start, e.End, s.start, s.end) {
+					conflict = true
+				}
+			}
+		}
+		if conflict {
+			res.Skipped++
+			continue
+		}
+		res.Applied++
+		for _, e := range f.Fix.Edits {
+			accepted[e.File] = append(accepted[e.File], span{e.Start, e.End})
+			edits[e.File] = append(edits[e.File], e)
+		}
+	}
+	for file, fe := range edits {
+		src, ok := m.Source(file)
+		if !ok {
+			continue
+		}
+		// Apply back to front so earlier offsets stay valid. Ties (an
+		// insertion at a deletion's start) order the deletion first in the
+		// file, i.e. apply the insertion after it — the inserted line ends
+		// up where the deleted line was.
+		sort.Slice(fe, func(i, j int) bool {
+			if fe[i].Start != fe[j].Start {
+				return fe[i].Start > fe[j].Start
+			}
+			return fe[i].End > fe[j].End
+		})
+		out := append([]byte(nil), src...)
+		for _, e := range fe {
+			out = append(out[:e.Start], append([]byte(e.NewText), out[e.End:]...)...)
+		}
+		res.Changed[file] = out
+	}
+	return res
+}
+
+// WriteFixes persists a fix plan to the working tree, preserving each
+// file's permission bits.
+func WriteFixes(res FixResult) error {
+	for _, file := range sortedFileKeys(res.Changed) {
+		mode := os.FileMode(0o644)
+		if info, err := os.Stat(file); err == nil {
+			mode = info.Mode().Perm()
+		}
+		if err := os.WriteFile(file, res.Changed[file], mode); err != nil {
+			return fmt.Errorf("lint: WriteFixes: %v", err)
+		}
+	}
+	return nil
+}
+
+// WriteDiff renders the fix plan as a unified-style diff (one hunk per
+// file, no context lines), relative to the module root for stable CI
+// output.
+func WriteDiff(w io.Writer, m *Module, res FixResult) {
+	for _, file := range sortedFileKeys(res.Changed) {
+		src, ok := m.Source(file)
+		if !ok {
+			continue
+		}
+		rel := file
+		if r, err := relPath(m.Dir, file); err == nil {
+			rel = r
+		}
+		oldLines := splitLines(string(src))
+		newLines := splitLines(string(res.Changed[file]))
+		// Trim the common prefix and suffix; what remains is the hunk.
+		pre := 0
+		for pre < len(oldLines) && pre < len(newLines) && oldLines[pre] == newLines[pre] {
+			pre++
+		}
+		post := 0
+		for post < len(oldLines)-pre && post < len(newLines)-pre &&
+			oldLines[len(oldLines)-1-post] == newLines[len(newLines)-1-post] {
+			post++
+		}
+		oldHunk := oldLines[pre : len(oldLines)-post]
+		newHunk := newLines[pre : len(newLines)-post]
+		if len(oldHunk) == 0 && len(newHunk) == 0 {
+			continue
+		}
+		_, _ = fmt.Fprintf(w, "--- a/%s\n+++ b/%s\n", rel, rel)
+		_, _ = fmt.Fprintf(w, "@@ -%d,%d +%d,%d @@\n", pre+1, len(oldHunk), pre+1, len(newHunk))
+		for _, l := range oldHunk {
+			_, _ = fmt.Fprintf(w, "-%s\n", l)
+		}
+		for _, l := range newHunk {
+			_, _ = fmt.Fprintf(w, "+%s\n", l)
+		}
+	}
+}
+
+// splitLines splits on newlines without a trailing phantom line.
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+func sortedFileKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

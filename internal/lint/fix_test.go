@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixModule loads the testdata/fix mini-module and returns its findings
+// under the full analyzer catalog.
+func loadFixModule(t *testing.T, dir string) (*Module, []Finding) {
+	t.Helper()
+	m, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	return m, Run(m, Analyzers())
+}
+
+// TestFixGolden pins the -fix engine end to end: planning the suggested
+// fixes for testdata/fix must rewrite each file into its .golden
+// counterpart, byte for byte.
+func TestFixGolden(t *testing.T) {
+	m, findings := loadFixModule(t, filepath.Join("testdata", "fix"))
+	if len(findings) == 0 {
+		t.Fatal("fix fixture produced no findings")
+	}
+	res := PlanFixes(m, findings)
+	if res.Skipped != 0 {
+		t.Errorf("PlanFixes skipped %d fix(es); fixture fixes must not overlap", res.Skipped)
+	}
+	if res.Applied == 0 {
+		t.Fatal("PlanFixes applied no fixes")
+	}
+	goldens, err := filepath.Glob(filepath.Join("testdata", "fix", "*.go.golden"))
+	if err != nil || len(goldens) == 0 {
+		t.Fatalf("no golden files: %v", err)
+	}
+	for _, golden := range goldens {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := strings.TrimSuffix(golden, ".golden")
+		abs, err := filepath.Abs(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, changed := res.Changed[abs]
+		if !changed {
+			t.Errorf("%s: no fixes applied, want rewrite to %s", src, golden)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: fixed output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", src, golden, got, want)
+		}
+	}
+}
+
+// TestFixRoundTrip re-analyzes the fixed tree: applying the suggested fixes
+// must converge to zero findings in one pass for this fixture.
+func TestFixRoundTrip(t *testing.T) {
+	m, findings := loadFixModule(t, filepath.Join("testdata", "fix"))
+	res := PlanFixes(m, findings)
+
+	tmp := t.TempDir()
+	srcDir := filepath.Join("testdata", "fix")
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".golden") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if abs, err := filepath.Abs(filepath.Join(srcDir, name)); err == nil {
+			if fixed, ok := res.Changed[abs]; ok {
+				data = fixed
+			}
+		}
+		if err := os.WriteFile(filepath.Join(tmp, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fixedModule, err := Load(tmp)
+	if err != nil {
+		t.Fatalf("Load(fixed tree): %v", err)
+	}
+	after := Run(fixedModule, Analyzers())
+	for _, f := range after {
+		t.Errorf("finding survives the fix pass: %s", f)
+	}
+}
+
+// TestWriteDiff checks the dry-run rendering: module-relative paths and the
+// expected added/removed lines.
+func TestWriteDiff(t *testing.T) {
+	m, findings := loadFixModule(t, filepath.Join("testdata", "fix"))
+	res := PlanFixes(m, findings)
+	var buf bytes.Buffer
+	WriteDiff(&buf, m, res)
+	out := buf.String()
+	for _, want := range []string{
+		"--- a/capture.go",
+		"+++ b/capture.go",
+		"+\t\ti := i",
+		"+\t\tbuf := append(buf[:0:0], buf...)",
+		"--- a/waitgroup.go",
+		"+\t\tdefer wg.Done()",
+		"-\t\twg.Done()",
+		"@@ -",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, tempSentinel) {
+		t.Errorf("diff output leaks absolute paths:\n%s", out)
+	}
+}
+
+// tempSentinel is a path fragment that must never appear in diff output
+// (paths are module-relative).
+const tempSentinel = "testdata/fix/capture.go\n--- "
+
+// TestPlanFixesSkipsOverlaps pins the greedy non-overlap contract with
+// synthetic findings: the first fix wins a contested region, the second is
+// skipped whole (including its non-overlapping edits).
+func TestPlanFixesSkipsOverlaps(t *testing.T) {
+	m := &Module{sources: map[string][]byte{"f.go": []byte("abcdef\n")}}
+	findings := []Finding{
+		{Fix: &SuggestedFix{Edits: []TextEdit{{File: "f.go", Start: 1, End: 4, NewText: "X"}}}},
+		{Fix: &SuggestedFix{Edits: []TextEdit{
+			{File: "f.go", Start: 3, End: 5, NewText: "Y"},
+			{File: "f.go", Start: 6, End: 6, NewText: "Z"},
+		}}},
+	}
+	res := PlanFixes(m, findings)
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Fatalf("Applied=%d Skipped=%d, want 1/1", res.Applied, res.Skipped)
+	}
+	if got := string(res.Changed["f.go"]); got != "aXef\n" {
+		t.Errorf("fixed content = %q, want %q", got, "aXef\n")
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective hammers the //scglint:ignore parser with arbitrary
+// directive bodies — truncated fields, stray commas, CRLF remnants,
+// non-ASCII reasons. Whatever the comment contains, parsing must not panic
+// and must classify the directive exactly one of two ways:
+//
+//   - well-formed: every listed analyzer resolves in the catalog and the
+//     reason is non-empty (the audit-trail invariant);
+//   - malformed: a non-empty explanation of why, and matches() never
+//     suppresses anything.
+func FuzzIgnoreDirective(f *testing.F) {
+	for _, seed := range []string{
+		" permalias caller frees the slice",
+		" permalias,droppederr shared rationale",
+		" permalias",
+		"",
+		"   ",
+		" nosuchanalyzer because",
+		"\tsimhygiene \t reason with\ttabs",
+		" simhygiene reason trailing CR\r",
+		"\r\n simhygiene windows line endings",
+		" simhygiene,goroutinecapture multi analyzer",
+		" boundedspawn étude of a unicode reason — em dash",
+		" atomicmix, trailing comma makes an empty name",
+		",permalias leading comma",
+		" permalias  ",
+		" waitgrouplint \x00 embedded NUL",
+		strings.Repeat("a,", 100) + " long analyzer list",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		pos := token.Position{Filename: "fuzz.go", Line: 1, Column: 1}
+		d := parseIgnoreDirective(pos, body)
+		if d == nil {
+			t.Fatal("parseIgnoreDirective returned nil")
+		}
+		if d.malformed == "" {
+			if len(d.analyzers) == 0 {
+				t.Fatalf("well-formed directive with no analyzers: %q", body)
+			}
+			for _, name := range d.analyzers {
+				if _, ok := analyzerByName(name); !ok {
+					t.Fatalf("well-formed directive accepted unknown analyzer %q: %q", name, body)
+				}
+			}
+			if strings.TrimSpace(d.reason) == "" {
+				t.Fatalf("well-formed directive with empty reason: %q", body)
+			}
+		} else {
+			// A malformed directive must never suppress a finding.
+			d.lo, d.hi = pos.Line, pos.Line+1
+			for _, name := range AnalyzerNames() {
+				if d.matches(name, pos.Line) {
+					t.Fatalf("malformed directive (%s) suppresses %s: %q", d.malformed, name, body)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerGoroutineCapture flags shared state captured by reference into
+// concurrently executing closures — the bug class the parallel BFS engine's
+// per-worker cur/next frontiers and NewRankScratch buffers invite. Two
+// closure families are audited:
+//
+//   - closures launched by a `go` statement inside a loop: every iteration
+//     spawns another goroutine sharing the same captures, so (a) capturing
+//     a loop variable is flagged (pass it as an argument or rebind it —
+//     the module's convention keeps the capture explicit even though
+//     go >= 1.22 scopes loop variables per iteration, because the fixtures
+//     and any code vendored into older modules revert to shared semantics),
+//     and (b) mutating a captured variable is flagged;
+//   - function literals passed to pool.Map / pool.Each: invocations run
+//     concurrently with each other, so mutating a captured variable is
+//     flagged (loop-variable reads are safe here — pool calls block until
+//     every invocation returns).
+//
+// "Mutating" means: assigning the variable itself, writing through an index
+// or field whose index is not closure-local, passing the whole variable to
+// a `...Into` mutator or as copy's destination, or letting its address
+// escape into a call. Writes indexed by a closure-local variable
+// (out[i] = ... with i a parameter) are the sanctioned per-index pattern,
+// and addresses passed to sync/atomic are the sanctioned claim pattern —
+// neither is flagged. Suggested fixes rebind loop variables (x := x) and
+// clone scratch buffers before capture (buf := append(buf[:0:0], buf...)).
+var analyzerGoroutineCapture = &Analyzer{
+	Name: "goroutinecapture",
+	Doc:  "flag loop variables and mutated shared buffers captured by concurrent closures",
+	Run:  runGoroutineCapture,
+}
+
+func runGoroutineCapture(p *Package, report Reporter) {
+	// Only functions that actually spawn — a go statement or a pool.Map /
+	// pool.Each thunk — need the scope walk; the shared index knows which
+	// those are, so everything else costs one map lookup.
+	ix := p.index()
+	spawning := make(map[*ast.FuncDecl]bool)
+	for _, g := range ix.goStmts {
+		if g.fn != nil {
+			spawning[g.fn] = true
+		}
+	}
+	for _, c := range ix.calls {
+		if c.fn == nil {
+			continue
+		}
+		if path, name, ok := pkgSelector(p, c.node.Fun); ok &&
+			pathHasSuffix(path, "internal/pool") && (name == "Map" || name == "Each") {
+			spawning[c.fn] = true
+		}
+	}
+	for _, fd := range ix.funcDecls {
+		if fd.Body != nil && spawning[fd] {
+			walkCaptureScope(p, fd.Body, make(map[types.Object]bool), nil, report)
+		}
+	}
+}
+
+// walkCaptureScope walks statements tracking the loop variables in scope and
+// the innermost enclosing loop body, dispatching closure analysis at go
+// statements and pool.Map/Each calls. Function-literal boundaries reset the
+// loop environment: an inner closure is a fresh frame whose own loops are
+// what matter.
+func walkCaptureScope(p *Package, n ast.Node, loopVars map[types.Object]bool, loopBody ast.Node, report Reporter) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch t := x.(type) {
+		case *ast.ForStmt:
+			inner := copyLoopVars(loopVars)
+			if init, ok := t.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					addLoopVar(p, inner, lhs)
+				}
+			}
+			if t.Init != nil {
+				walkCaptureScope(p, t.Init, loopVars, loopBody, report)
+			}
+			walkCaptureScope(p, t.Body, inner, t.Body, report)
+			return false
+		case *ast.RangeStmt:
+			inner := copyLoopVars(loopVars)
+			if t.Tok == token.DEFINE {
+				addLoopVar(p, inner, t.Key)
+				addLoopVar(p, inner, t.Value)
+			}
+			walkCaptureScope(p, t.X, loopVars, loopBody, report)
+			walkCaptureScope(p, t.Body, inner, t.Body, report)
+			return false
+		case *ast.GoStmt:
+			if lit, ok := t.Call.Fun.(*ast.FuncLit); ok && len(loopVars) > 0 {
+				checkClosure(p, lit, loopVars, t.Pos(), loopBody, report)
+			}
+			// Arguments (and nested closures) are walked normally below.
+		case *ast.CallExpr:
+			if path, name, ok := pkgSelector(p, t.Fun); ok &&
+				pathHasSuffix(path, "internal/pool") && (name == "Map" || name == "Each") {
+				for _, arg := range t.Args {
+					if lit, isLit := arg.(*ast.FuncLit); isLit {
+						checkClosure(p, lit, nil, token.NoPos, nil, report)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			walkCaptureScope(p, t.Body, make(map[types.Object]bool), nil, report)
+			return false
+		}
+		return true
+	})
+}
+
+func copyLoopVars(m map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(m)+2)
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func addLoopVar(p *Package, m map[types.Object]bool, e ast.Expr) {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		m[obj] = true
+	}
+}
+
+// checkClosure audits one concurrently executing closure. goPos is the
+// launching go statement's position for loop-spawned closures (the anchor
+// for rebind/clone fixes), or NoPos for pool.Map/Each thunks, whose clone
+// fixes anchor inside the closure and whose loop-variable reads are safe.
+// loopScope is the innermost enclosing loop body: variables declared inside
+// it are per-iteration (each spawn captures its own instance — the shape
+// the rebind and clone-before-capture fixes produce), so they count as
+// local.
+func checkClosure(p *Package, lit *ast.FuncLit, loopVars map[types.Object]bool, goPos token.Pos, loopScope ast.Node, report Reporter) {
+	local := func(obj types.Object) bool {
+		if obj == nil || obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		return loopScope != nil && obj.Pos() >= loopScope.Pos() && obj.Pos() <= loopScope.End()
+	}
+	capturedVar := func(e ast.Expr) *types.Var {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, isVar := identUse(p, id).(*types.Var)
+		if !isVar || v.IsField() || local(v) {
+			return nil
+		}
+		return v
+	}
+	isLoopVar := func(v *types.Var) bool { return loopVars[v] }
+
+	// Loop-variable captures: one finding per variable, at first use.
+	if goPos.IsValid() {
+		seen := make(map[*types.Var]bool)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, isVar := p.Info.Uses[id].(*types.Var)
+			if !isVar || !isLoopVar(v) || seen[v] {
+				return true
+			}
+			seen[v] = true
+			report(id.Pos(),
+				"goroutine launched inside the loop captures the loop variable "+v.Name()+" by reference",
+				"pass "+v.Name()+" as an argument to the closure, or rebind it on the line before the go statement",
+				fix("rebind the loop variable before the go statement",
+					insertLineAbove(goPos, v.Name()+" := "+v.Name())))
+			return true
+		})
+	}
+
+	// Mutation hazards on captured variables.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range t.Lhs {
+				checkCapturedWrite(p, lhs, capturedVar, isLoopVar, local, lit, goPos, report)
+			}
+		case *ast.IncDecStmt:
+			checkCapturedWrite(p, t.X, capturedVar, isLoopVar, local, lit, goPos, report)
+		case *ast.CallExpr:
+			checkCapturedCallArgs(p, t, capturedVar, isLoopVar, lit, goPos, report)
+		}
+		return true
+	})
+}
+
+// checkCapturedWrite flags an assignment target rooted in a captured
+// variable, unless every index on the path is closure-local (the sanctioned
+// per-index pattern).
+func checkCapturedWrite(p *Package, lhs ast.Expr, capturedVar func(ast.Expr) *types.Var,
+	isLoopVar func(*types.Var) bool, local func(types.Object) bool,
+	lit *ast.FuncLit, goPos token.Pos, report Reporter) {
+	switch t := lhs.(type) {
+	case *ast.Ident:
+		v := capturedVar(t)
+		if v == nil || isLoopVar(v) {
+			return // loop vars already reported as captures
+		}
+		report(t.Pos(),
+			"captured variable "+v.Name()+" is reassigned inside a concurrently executing closure; invocations race on it",
+			"keep per-invocation state inside the closure, or gather results by index (pool.Map) instead of reassigning a capture",
+			cloneFix(p, v, goPos, lit))
+	case *ast.IndexExpr:
+		base := capturedVar(t.X)
+		if base == nil || isLoopVar(base) {
+			return
+		}
+		if indexIsLocal(p, t.Index, local) {
+			return
+		}
+		report(t.Pos(),
+			"captured variable "+base.Name()+" is written at an index that is not closure-local; concurrent invocations can collide on the element",
+			"index per-invocation state by the closure's own parameter (out[i] = ...), or clone the buffer before capture",
+			cloneFix(p, base, goPos, lit))
+	case *ast.SelectorExpr:
+		base := capturedVar(t.X)
+		if base == nil || isLoopVar(base) {
+			return
+		}
+		report(t.Pos(),
+			"captured variable "+base.Name()+" has a field written inside a concurrently executing closure; invocations race on it",
+			"give each invocation its own value (pass it as an argument or key it by the closure's index parameter)")
+	case *ast.StarExpr:
+		base := capturedVar(t.X)
+		if base == nil || isLoopVar(base) {
+			return
+		}
+		report(t.Pos(),
+			"captured pointer "+base.Name()+" is written through inside a concurrently executing closure; invocations race on the pointee",
+			"give each invocation its own target, keyed by the closure's index parameter")
+	}
+}
+
+// checkCapturedCallArgs flags captured whole variables handed to mutators:
+// `...Into` kernels (the repository's mutate-in-place convention), copy's
+// destination, and escaping addresses (except the sanctioned sync/atomic
+// claim pattern).
+func checkCapturedCallArgs(p *Package, call *ast.CallExpr, capturedVar func(ast.Expr) *types.Var,
+	isLoopVar func(*types.Var) bool, lit *ast.FuncLit, goPos token.Pos, report Reporter) {
+	callee := calleeName(call)
+	atomicCall := false
+	if path, _, ok := pkgSelector(p, call.Fun); ok && path == "sync/atomic" {
+		atomicCall = true
+	}
+	for i, arg := range call.Args {
+		// &x escaping into a non-atomic call.
+		if ua, ok := arg.(*ast.UnaryExpr); ok && ua.Op == token.AND {
+			if v := capturedVar(ua.X); v != nil && !isLoopVar(v) && !atomicCall {
+				report(arg.Pos(),
+					"address of captured variable "+v.Name()+" escapes into a call from a concurrently executing closure; the callee can mutate shared state",
+					"pass a per-invocation value instead, or claim shared elements through sync/atomic")
+			}
+			continue
+		}
+		v := capturedVar(arg)
+		if v == nil || isLoopVar(v) || !mutableType(v.Type()) {
+			continue
+		}
+		mutates := (callee == "copy" && i == 0) || (callee != "" && hasSuffixInto(callee))
+		if !mutates {
+			continue
+		}
+		report(arg.Pos(),
+			"captured scratch buffer "+v.Name()+" is passed to mutating call "+callee+" from a concurrently executing closure; invocations race on its contents",
+			"give each invocation its own buffer (clone before capture, or key a buffer pool by the closure's index parameter)",
+			cloneFix(p, v, goPos, lit))
+	}
+}
+
+// cloneFix builds the clone-before-capture fix for slice-typed buffers:
+// above the go statement for loop-spawned closures (one clone per
+// iteration), at the top of the closure for pool thunks (one clone per
+// invocation). Non-slice types get no automatic fix.
+func cloneFix(p *Package, v *types.Var, goPos token.Pos, lit *ast.FuncLit) *fixSpec {
+	if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+		return nil
+	}
+	clone := v.Name() + " := append(" + v.Name() + "[:0:0], " + v.Name() + "...)"
+	if goPos.IsValid() {
+		return fix("clone the buffer before the goroutine captures it", insertLineAbove(goPos, clone))
+	}
+	return fix("clone the buffer per closure invocation", insertLineAbove(firstStmtPos(lit.Body), clone))
+}
+
+// indexIsLocal reports whether every identifier in an index expression is
+// closure-local (parameters, locally declared variables).
+func indexIsLocal(p *Package, idx ast.Expr, local func(types.Object) bool) bool {
+	ok := true
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		if v, isVar := identUse(p, id).(*types.Var); isVar && !v.IsField() && !local(v) {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// mutableType reports whether a callee receiving a value of type t can
+// mutate state the caller still sees (slices, maps, pointers); plain value
+// types are copied at the call boundary and are safe to pass.
+func mutableType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// calleeName renders the called function's bare name ("copy",
+// "UnrankInto", "perm.UnrankInto" -> "UnrankInto"), or "" when dynamic.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// hasSuffixInto matches the repository's mutate-in-place kernel convention.
+func hasSuffixInto(name string) bool {
+	return len(name) > 4 && name[len(name)-4:] == "Into"
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"go/token"
 	"sort"
 	"strings"
@@ -10,9 +11,12 @@ import (
 //
 //	//scglint:ignore <analyzer>[,<analyzer>] <reason>
 //
-// The directive suppresses matching findings on its own line or on the line
-// immediately below it (so it works both as a trailing comment and as an
-// own-line comment above the offending statement).
+// The directive suppresses matching findings on its own line or on the
+// statement it is anchored to: the statement beginning on the same line
+// (trailing comment) or on the line immediately below (own-line comment).
+// Anchoring covers the statement's full line span, so a directive above a
+// statement that wraps across several lines suppresses findings reported on
+// any of them — not just the first.
 const ignorePrefix = "scglint:ignore"
 
 // ignoreDirective is one parsed //scglint:ignore comment.
@@ -22,13 +26,19 @@ type ignoreDirective struct {
 	reason    string
 	used      bool
 	malformed string // non-empty: why the directive is invalid
+	// lo..hi is the inclusive line range the directive suppresses: its own
+	// line plus the span of the anchored statement (at minimum the line
+	// below, preserving the directive-above-single-line-statement shape).
+	lo, hi int
 }
 
-// parseIgnores collects every ignore directive of the module, keyed by file.
+// parseIgnores collects every ignore directive of the module, keyed by file,
+// and anchors each to the line span of its statement.
 func parseIgnores(m *Module) map[string][]*ignoreDirective {
 	out := make(map[string][]*ignoreDirective)
 	for _, p := range m.Packages {
 		for _, f := range p.Files {
+			var ds []*ignoreDirective
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					text := strings.TrimPrefix(c.Text, "//")
@@ -37,12 +47,85 @@ func parseIgnores(m *Module) map[string][]*ignoreDirective {
 						continue
 					}
 					d := parseIgnoreDirective(m.Fset.Position(c.Pos()), strings.TrimPrefix(text, ignorePrefix))
-					out[d.pos.Filename] = append(out[d.pos.Filename], d)
+					d.lo = d.pos.Line
+					d.hi = d.pos.Line + 1
+					ds = append(ds, d)
 				}
 			}
+			if len(ds) == 0 {
+				continue
+			}
+			anchorDirectives(m.Fset, f, ds)
+			file := m.Fset.Position(f.Pos()).Filename
+			out[file] = append(out[file], ds...)
 		}
 	}
 	return out
+}
+
+// anchorDirectives widens each directive's suppression range to the full
+// line span of the statement it anchors: any statement starting on the
+// directive's line or the line below extends hi to that statement's last
+// line. Statements carrying a block (if/for/range/switch/select) or a
+// function literal only contribute their header lines — a directive above a
+// loop must not blanket-suppress the loop body.
+func anchorDirectives(fset *token.FileSet, f *ast.File, ds []*ignoreDirective) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		lo, hi := stmtLineSpan(fset, s)
+		for _, d := range ds {
+			if lo == d.pos.Line || lo == d.pos.Line+1 {
+				if hi > d.hi {
+					d.hi = hi
+				}
+			}
+		}
+		return true
+	})
+}
+
+// stmtLineSpan returns the inclusive line range a statement anchors: its
+// full extent for simple statements (including calls wrapped across lines),
+// but only the header for block-bearing statements, and up to the opening
+// brace for statements containing a function literal.
+func stmtLineSpan(fset *token.FileSet, s ast.Stmt) (lo, hi int) {
+	lo = fset.Position(s.Pos()).Line
+	end := s.End()
+	switch t := s.(type) {
+	case *ast.IfStmt:
+		end = t.Body.Lbrace
+	case *ast.ForStmt:
+		end = t.Body.Lbrace
+	case *ast.RangeStmt:
+		end = t.Body.Lbrace
+	case *ast.SwitchStmt:
+		end = t.Body.Lbrace
+	case *ast.TypeSwitchStmt:
+		end = t.Body.Lbrace
+	case *ast.SelectStmt:
+		end = t.Body.Lbrace
+	case *ast.BlockStmt:
+		end = t.Lbrace
+	case *ast.LabeledStmt:
+		return stmtLineSpan(fset, t.Stmt)
+	default:
+		// A statement embedding a function literal (go/defer func, an
+		// assignment of a closure) anchors only up to the literal's opening
+		// brace; the closure body is separate code with its own directives.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if lit, isLit := n.(*ast.FuncLit); isLit {
+				if lit.Body.Lbrace < end {
+					end = lit.Body.Lbrace
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return lo, fset.Position(end).Line
 }
 
 // parseIgnoreDirective validates the directive body "<analyzers> <reason>".
@@ -68,12 +151,12 @@ func parseIgnoreDirective(pos token.Position, body string) *ignoreDirective {
 }
 
 // matches reports whether the directive suppresses a finding by analyzer a
-// at line (same line as the directive, or the line just below it).
+// at line (within the directive's anchored line span).
 func (d *ignoreDirective) matches(a string, line int) bool {
 	if d.malformed != "" {
 		return false
 	}
-	if line != d.pos.Line && line != d.pos.Line+1 {
+	if line < d.lo || line > d.hi {
 		return false
 	}
 	for _, name := range d.analyzers {

@@ -7,9 +7,12 @@ import (
 )
 
 // TestIgnoreDirectives exercises the suppression machinery end to end on the
-// testdata/ignore fixture: trailing and own-line directives suppress,
+// testdata/ignore fixture: trailing and own-line directives suppress
+// (including across the full line span of a multi-line statement),
 // directives without effect or without a reason are findings themselves, and
-// an unsuppressed violation still fires.
+// an unsuppressed violation still fires. A regression in statement-span
+// anchoring shows up here as either a surviving simhygiene finding (the
+// multi-line case) or an unused-directive count bump.
 func TestIgnoreDirectives(t *testing.T) {
 	m, err := Load("testdata/ignore")
 	if err != nil {

@@ -1,0 +1,99 @@
+package lint
+
+import "go/ast"
+
+// The shared one-pass AST index.
+//
+// Every analyzer used to run its own ast.Inspect over every file, so adding
+// an analyzer added a full traversal of the module. The index walks each
+// package exactly once (lazily, on first use) and records the node shapes
+// the analyzers consume, each paired with its enclosing declaration context.
+// Ten analyzers therefore cost the same single traversal as six did; the
+// dominant load/type-check pass was already shared via Load.
+
+// nodeCtx pairs an indexed node with its enclosing context.
+type nodeCtx struct {
+	// fn is the enclosing function declaration (nil at package scope).
+	fn *ast.FuncDecl
+	// lit is the innermost enclosing function literal (nil outside one).
+	lit *ast.FuncLit
+}
+
+// indexed is one recorded node occurrence.
+type indexed[T ast.Node] struct {
+	node T
+	nodeCtx
+}
+
+// stmtList is one statement-list occurrence (block, case, or comm clause
+// body) — the granularity mapdeterminism reasons at.
+type stmtList struct {
+	list []ast.Stmt
+	nodeCtx
+}
+
+// index is the per-package one-pass node catalog.
+type index struct {
+	calls      []indexed[*ast.CallExpr]
+	selectors  []indexed[*ast.SelectorExpr]
+	goStmts    []indexed[*ast.GoStmt]
+	deferStmts []indexed[*ast.DeferStmt]
+	exprStmts  []indexed[*ast.ExprStmt]
+	assigns    []indexed[*ast.AssignStmt]
+	funcDecls  []*ast.FuncDecl
+	stmtLists  []stmtList
+}
+
+// cachedIndex is the lazily built index, stored on the Package so every
+// analyzer in a run shares it.
+func (p *Package) index() *index {
+	if p.idx == nil {
+		p.idx = buildIndex(p.Files)
+	}
+	return p.idx
+}
+
+// indexWalker implements ast.Visitor, threading the enclosing-declaration
+// context down the walk (ast.Walk hands the returned visitor to children,
+// which scopes fn/lit naturally).
+type indexWalker struct {
+	ix  *index
+	ctx nodeCtx
+}
+
+func (w indexWalker) Visit(n ast.Node) ast.Visitor {
+	switch t := n.(type) {
+	case *ast.FuncDecl:
+		w.ix.funcDecls = append(w.ix.funcDecls, t)
+		return indexWalker{ix: w.ix, ctx: nodeCtx{fn: t}}
+	case *ast.FuncLit:
+		return indexWalker{ix: w.ix, ctx: nodeCtx{fn: w.ctx.fn, lit: t}}
+	case *ast.CallExpr:
+		w.ix.calls = append(w.ix.calls, indexed[*ast.CallExpr]{t, w.ctx})
+	case *ast.SelectorExpr:
+		w.ix.selectors = append(w.ix.selectors, indexed[*ast.SelectorExpr]{t, w.ctx})
+	case *ast.GoStmt:
+		w.ix.goStmts = append(w.ix.goStmts, indexed[*ast.GoStmt]{t, w.ctx})
+	case *ast.DeferStmt:
+		w.ix.deferStmts = append(w.ix.deferStmts, indexed[*ast.DeferStmt]{t, w.ctx})
+	case *ast.ExprStmt:
+		w.ix.exprStmts = append(w.ix.exprStmts, indexed[*ast.ExprStmt]{t, w.ctx})
+	case *ast.AssignStmt:
+		w.ix.assigns = append(w.ix.assigns, indexed[*ast.AssignStmt]{t, w.ctx})
+	case *ast.BlockStmt:
+		w.ix.stmtLists = append(w.ix.stmtLists, stmtList{t.List, w.ctx})
+	case *ast.CaseClause:
+		w.ix.stmtLists = append(w.ix.stmtLists, stmtList{t.Body, w.ctx})
+	case *ast.CommClause:
+		w.ix.stmtLists = append(w.ix.stmtLists, stmtList{t.Body, w.ctx})
+	}
+	return w
+}
+
+func buildIndex(files []*ast.File) *index {
+	ix := &index{}
+	for _, f := range files {
+		ast.Walk(indexWalker{ix: ix}, f)
+	}
+	return ix
+}

@@ -46,6 +46,28 @@ type Finding struct {
 	Message string `json:"message"`
 	// Hint is a one-line suggested fix.
 	Hint string `json:"hint,omitempty"`
+	// Fix, when non-nil, is a machine-applyable repair: `scglint -fix`
+	// applies it, `-diff` prints it.
+	Fix *SuggestedFix `json:"fix,omitempty"`
+}
+
+// SuggestedFix is a self-contained, machine-applyable repair for one
+// finding. Edits are resolved to byte offsets in the loaded sources, so a
+// fix can be applied (or rendered as a diff) without re-analyzing.
+type SuggestedFix struct {
+	// Message describes the repair in one line ("rebind the loop variable").
+	Message string `json:"message"`
+	// Edits are the text replacements, non-overlapping within one fix.
+	Edits []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces the source bytes [Start, End) of File with NewText.
+// Start == End is a pure insertion.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
 }
 
 func (f Finding) String() string {
@@ -66,8 +88,9 @@ type Analyzer struct {
 	Run func(p *Package, report Reporter)
 }
 
-// Reporter receives findings from an analyzer run.
-type Reporter func(pos token.Pos, message, hint string)
+// Reporter receives findings from an analyzer run. The optional trailing
+// fix attaches a machine-applyable repair (at most one is used).
+type Reporter func(pos token.Pos, message, hint string, fix ...*fixSpec)
 
 // Analyzers returns the full analyzer catalog in stable order.
 func Analyzers() []*Analyzer {
@@ -78,7 +101,22 @@ func Analyzers() []*Analyzer {
 		analyzerDroppedErr,
 		analyzerSimHygiene,
 		analyzerMapDeterminism,
+		analyzerGoroutineCapture,
+		analyzerAtomicMix,
+		analyzerWaitGroupLint,
+		analyzerBoundedSpawn,
 	}
+}
+
+// AnalyzerNames returns the catalog names in stable order (for -list, error
+// messages, and the SARIF rule table).
+func AnalyzerNames() []string {
+	all := Analyzers()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
 }
 
 // analyzerByName resolves a catalog entry; ok is false for unknown names.
@@ -99,9 +137,9 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 	for _, p := range m.Packages {
 		for _, a := range analyzers {
 			a := a
-			a.Run(p, func(pos token.Pos, message, hint string) {
+			a.Run(p, func(pos token.Pos, message, hint string, fix ...*fixSpec) {
 				position := m.Fset.Position(pos)
-				raw = append(raw, Finding{
+				f := Finding{
 					Pos:      position,
 					File:     position.Filename,
 					Line:     position.Line,
@@ -109,7 +147,11 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 					Analyzer: a.Name,
 					Message:  message,
 					Hint:     hint,
-				})
+				}
+				if len(fix) > 0 && fix[0] != nil {
+					f.Fix = resolveFix(m, fix[0])
+				}
+				raw = append(raw, f)
 			})
 		}
 	}

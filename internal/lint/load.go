@@ -29,6 +29,8 @@ type Package struct {
 	Types *types.Package
 	// Info holds the expression types, identifier uses/defs, and selections.
 	Info *types.Info
+	// idx is the lazily built shared node index (see inspect.go).
+	idx *index
 }
 
 // Module is a fully loaded and type-checked Go module.
@@ -41,6 +43,18 @@ type Module struct {
 	Fset *token.FileSet
 	// Packages lists every non-test package in import-path order.
 	Packages []*Package
+	// sources retains the raw bytes of every parsed file, keyed by the
+	// absolute path the Fset reports. The suggested-fix engine needs them
+	// to resolve indentation-aware edits and to print diffs without
+	// re-reading (and possibly racing with) the working tree.
+	sources map[string][]byte
+}
+
+// Source returns the raw bytes of a loaded file (as parsed, not as currently
+// on disk). ok is false for files outside the module load.
+func (m *Module) Source(file string) (src []byte, ok bool) {
+	src, ok = m.sources[file]
+	return src, ok
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing a
@@ -112,7 +126,7 @@ func Load(dir string) (*Module, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	m := &Module{Dir: root, Path: modPath, Fset: fset}
+	m := &Module{Dir: root, Path: modPath, Fset: fset, sources: make(map[string][]byte)}
 
 	// Pass 1: parse every package directory.
 	var dirs []string
@@ -141,7 +155,7 @@ func Load(dir string) (*Module, error) {
 
 	byPath := make(map[string]*Package)
 	for _, d := range dirs {
-		p, err := parseDir(fset, root, modPath, d)
+		p, err := parseDir(fset, m, root, modPath, d)
 		if err != nil {
 			return nil, err
 		}
@@ -207,8 +221,9 @@ func Load(dir string) (*Module, error) {
 }
 
 // parseDir parses the non-test Go files of one directory, returning nil when
-// the directory holds no Go sources.
-func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+// the directory holds no Go sources. Raw file bytes are retained on m for
+// the fix engine.
+func parseDir(fset *token.FileSet, m *Module, root, modPath, dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: Load: %v", err)
@@ -227,10 +242,16 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) 
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("lint: Load: %v", err)
 		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: Load: %v", err)
+		}
+		m.sources[path] = src
 		if p.Name != "" && p.Name != f.Name.Name {
 			return nil, fmt.Errorf("lint: Load: %s mixes packages %s and %s", dir, p.Name, f.Name.Name)
 		}

@@ -30,22 +30,8 @@ func runMapDeterminism(p *Package, report Reporter) {
 	if !pathHasSuffix(p.Path, mapDeterminismPackages...) {
 		return
 	}
-	for _, file := range p.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			var list []ast.Stmt
-			switch st := n.(type) {
-			case *ast.BlockStmt:
-				list = st.List
-			case *ast.CaseClause:
-				list = st.Body
-			case *ast.CommClause:
-				list = st.Body
-			default:
-				return true
-			}
-			checkStmtList(p, list, report)
-			return true
-		})
+	for _, sl := range p.index().stmtLists {
+		checkStmtList(p, sl.list, report)
 	}
 }
 

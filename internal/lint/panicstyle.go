@@ -26,27 +26,21 @@ var analyzerPanicStyle = &Analyzer{
 }
 
 func runPanicStyle(p *Package, report Reporter) {
-	for _, file := range p.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			id, ok := call.Fun.(*ast.Ident)
-			if !ok || id.Name != "panic" || len(call.Args) != 1 {
-				return true
-			}
-			msg, ok := staticPanicMessage(p, call.Args[0])
-			if !ok {
-				return true
-			}
-			if !panicStyleRE(p.Name).MatchString(msg) {
-				report(call.Pos(),
-					"panic message "+strconv.Quote(truncate(msg, 60))+" does not follow the `"+p.Name+": Func: message` convention",
-					"prefix the message with the package and function name, e.g. \""+p.Name+": MyFunc: ...\"")
-			}
-			return true
-		})
+	for _, c := range p.index().calls {
+		call := c.node
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" || len(call.Args) != 1 {
+			continue
+		}
+		msg, ok := staticPanicMessage(p, call.Args[0])
+		if !ok {
+			continue
+		}
+		if !panicStyleRE(p.Name).MatchString(msg) {
+			report(call.Pos(),
+				"panic message "+strconv.Quote(truncate(msg, 60))+" does not follow the `"+p.Name+": Func: message` convention",
+				"prefix the message with the package and function name, e.g. \""+p.Name+": MyFunc: ...\"")
+		}
 	}
 }
 

@@ -1,0 +1,128 @@
+package lint
+
+// SARIF 2.1.0 emission, shaped for GitHub code scanning upload. Only the
+// stdlib encoder is used; the struct shapes below cover the subset of the
+// schema that code-scanning ingestion requires: tool.driver with a rule per
+// analyzer, and one result per finding with ruleId, ruleIndex, level, and a
+// physicalLocation carrying a module-relative artifact URI and a
+// startLine/startColumn region.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifLogFor renders findings from one run as a SARIF log. The rule table
+// lists exactly the analyzers that ran (selection via -only/-skip is thereby
+// visible in the log); driver-level diagnostics (unused ignore directives)
+// report under the "scglint" pseudo-rule appended after the analyzer rules.
+func sarifLogFor(m *Module, analyzers []*Analyzer, findings []Finding) sarifLog {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	ruleIndex := make(map[string]int, len(analyzers)+1)
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	ruleIndex["scglint"] = len(rules)
+	rules = append(rules, sarifRule{
+		ID:               "scglint",
+		ShortDescription: sarifMessage{Text: "driver diagnostics (suppression audit)"},
+	})
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, known := ruleIndex[f.Analyzer]
+		if !known {
+			// A finding from an analyzer outside the rule table would make
+			// the log self-inconsistent; attribute it to the driver instead.
+			idx = ruleIndex["scglint"]
+		}
+		text := f.Message
+		if f.Hint != "" {
+			text += " (fix: " + f.Hint + ")"
+		}
+		uri := f.File
+		if rel, err := relPath(m.Dir, f.File); err == nil {
+			uri = rel
+		}
+		results = append(results, sarifResult{
+			RuleID:    rules[idx].ID,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: text},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	return sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "scglint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}

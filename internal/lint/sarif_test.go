@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSarifOutput pins the SARIF 2.1.0 shape code-scanning ingestion needs:
+// schema/version headers, a rule per selected analyzer, and results with
+// ruleId, a valid ruleIndex, level, and a physicalLocation whose artifact
+// URI is module-relative.
+func TestSarifOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := Main([]string{"-sarif", "-C", "testdata/simhygiene"}, &out, &errOut)
+	if code != ExitFindings {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, ExitFindings, errOut.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if log.Schema != sarifSchema || log.Version != sarifVersion {
+		t.Errorf("schema/version = %q/%q, want %q/%q", log.Schema, log.Version, sarifSchema, sarifVersion)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "scglint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Rule table: every catalog analyzer plus the scglint pseudo-rule.
+	ruleIDs := make(map[string]int)
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+		ruleIDs[r.ID] = i
+	}
+	for _, name := range append(AnalyzerNames(), "scglint") {
+		if _, ok := ruleIDs[name]; !ok {
+			t.Errorf("rule table missing %s", name)
+		}
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results for a module with findings")
+	}
+	for _, r := range run.Results {
+		idx, known := ruleIDs[r.RuleID]
+		if !known {
+			t.Errorf("result ruleId %q not in rule table", r.RuleID)
+		} else if r.RuleIndex != idx {
+			t.Errorf("result ruleIndex = %d, want %d for %s", r.RuleIndex, idx, r.RuleID)
+		}
+		if r.Level != "error" {
+			t.Errorf("result level = %q", r.Level)
+		}
+		if r.Message.Text == "" {
+			t.Error("result has empty message")
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if strings.HasPrefix(loc.ArtifactLocation.URI, "/") || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("artifact URI %q is not a relative slash path", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 || loc.Region.StartColumn <= 0 {
+			t.Errorf("region %+v has no position", loc.Region)
+		}
+	}
+}
+
+// TestSarifCleanTree checks a clean module emits a valid log with an empty
+// (but present) results array — uploads must not fail on success.
+func TestSarifCleanTree(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Main([]string{"-sarif", "-C", "testdata/clean"}, &out, &errOut); code != ExitClean {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, ExitClean, errOut.String())
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	runs, ok := raw["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v", raw["runs"])
+	}
+	results, present := runs[0].(map[string]any)["results"]
+	if !present {
+		t.Fatal("results key absent on clean tree; SARIF requires an empty array")
+	}
+	if arr, isArr := results.([]any); !isArr || len(arr) != 0 {
+		t.Errorf("results = %v, want []", results)
+	}
+}

@@ -1,9 +1,5 @@
 package lint
 
-import (
-	"go/ast"
-)
-
 // analyzerSimHygiene keeps the simulation engines deterministic and
 // benchmark-stable. Inside the packages matching internal/sim and
 // internal/collective it forbids:
@@ -45,27 +41,21 @@ func runSimHygiene(p *Package, report Reporter) {
 	if !pathHasSuffix(p.Path, simHygienePackages...) {
 		return
 	}
-	for _, file := range p.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			path, name, ok := pkgSelector(p, sel)
-			if !ok {
-				return true
-			}
-			switch {
-			case path == "time" && wallClockFuncs[name]:
-				report(sel.Pos(),
-					"wall-clock call time."+name+" inside a simulation package breaks determinism and benchmark stability",
-					"measure wall time in the obs layer (phase timers) and keep engine steps pure")
-			case (path == "math/rand" || path == "math/rand/v2") && !globalRandExempt[name]:
-				report(sel.Pos(),
-					"global math/rand source (rand."+name+") inside a simulation package is not reproducible from a seed",
-					"thread a seeded generator (perm.NewRNG / rand.New(rand.NewSource(seed))) through the engine instead")
-			}
-			return true
-		})
+	for _, s := range p.index().selectors {
+		sel := s.node
+		path, name, ok := pkgSelector(p, sel)
+		if !ok {
+			continue
+		}
+		switch {
+		case path == "time" && wallClockFuncs[name]:
+			report(sel.Pos(),
+				"wall-clock call time."+name+" inside a simulation package breaks determinism and benchmark stability",
+				"measure wall time in the obs layer (phase timers) and keep engine steps pure")
+		case (path == "math/rand" || path == "math/rand/v2") && !globalRandExempt[name]:
+			report(sel.Pos(),
+				"global math/rand source (rand."+name+") inside a simulation package is not reproducible from a seed",
+				"thread a seeded generator (perm.NewRNG / rand.New(rand.NewSource(seed))) through the engine instead")
+		}
 	}
 }

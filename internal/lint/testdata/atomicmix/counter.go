@@ -1,0 +1,84 @@
+// Package counter exercises the atomicmix analyzer: state touched through
+// sync/atomic in one function must not be accessed directly in another.
+// Positive cases carry want-markers; the rest are the sanctioned shapes
+// (same-function bracketing, mutex-guarded readers, constructors, locals).
+package counter
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter claims hits atomically from concurrent workers.
+type Counter struct {
+	hits int64
+	mu   sync.Mutex
+}
+
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Snapshot reads hits plainly in a different function: a data race with
+// every concurrent Incr.
+func (c *Counter) Snapshot() int64 {
+	return c.hits //lintwant direct access to hits
+}
+
+// Reset writes hits plainly in a different function.
+func (c *Counter) Reset() {
+	c.hits = 0 //lintwant direct access to hits
+}
+
+// LockedSnapshot holds the mutex; mixed-but-guarded functions are exempt
+// (the guard discipline is the caller's contract, not this analyzer's).
+func (c *Counter) LockedSnapshot() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// NewCounter is a constructor: the value is not yet shared, so plain
+// initialization is sanctioned.
+func NewCounter(seed int64) *Counter {
+	c := &Counter{}
+	c.hits = seed
+	return c
+}
+
+// bracketed does both atomic and plain access in one function — the
+// init-spawn-join shape where the plain accesses happen before and after
+// the concurrent phase.
+func (c *Counter) bracketed() int64 {
+	c.hits = 0
+	atomic.AddInt64(&c.hits, 1)
+	return c.hits
+}
+
+// epoch is package-level state claimed atomically below.
+var epoch int64
+
+func bumpEpoch() {
+	atomic.AddInt64(&epoch, 1)
+}
+
+func readEpoch() int64 {
+	return epoch //lintwant direct access to epoch
+}
+
+// literalKey uses the field name as a composite-literal key: a use without
+// access semantics, never flagged.
+func literalKey() Counter {
+	return Counter{hits: 0}
+}
+
+// localOnly atomics on function locals are exempt: the join (wg.Wait, a
+// pool call returning) establishes happens-before for later plain reads,
+// and locals have no cross-function identity anyway.
+func localOnly(n int) int64 {
+	var claimed int64
+	for i := 0; i < n; i++ {
+		atomic.AddInt64(&claimed, 1)
+	}
+	return claimed
+}

@@ -1,0 +1,3 @@
+module fixatomic
+
+go 1.22

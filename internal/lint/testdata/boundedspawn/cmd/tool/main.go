@@ -1,0 +1,11 @@
+// Command tool is outside the measurement packages; raw goroutines here
+// are not boundedspawn's business.
+package main
+
+func main() {
+	done := make(chan struct{})
+	go func() {
+		done <- struct{}{}
+	}()
+	<-done
+}

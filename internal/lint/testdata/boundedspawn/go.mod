@@ -1,0 +1,3 @@
+module fixspawn
+
+go 1.22

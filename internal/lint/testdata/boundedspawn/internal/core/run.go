@@ -1,0 +1,23 @@
+// Package core is a measurement package: raw go statements here bypass the
+// audited internal/pool chokepoint and are flagged; routing the same work
+// through pool.Each is the sanctioned shape.
+package core
+
+import "fixspawn/internal/pool"
+
+func step(i int) {}
+
+// rawSpawn fans out with naked goroutines.
+func rawSpawn(n int, done chan struct{}) {
+	for i := 0; i < n; i++ {
+		go func(i int) { //lintwant raw go statement in a measurement package
+			step(i)
+			done <- struct{}{}
+		}(i)
+	}
+}
+
+// pooled is the sanctioned shape.
+func pooled(n int) {
+	pool.Each(n, 0, step)
+}

@@ -1,0 +1,32 @@
+// Package fixme holds fixable findings: the scglint -fix engine must
+// rewrite each file into its .golden counterpart, and the rewritten tree
+// must re-analyze clean.
+package fixme
+
+func observe(vals ...int) int {
+	s := 0
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+func spawnLoopVar(n int, done chan struct{}) {
+	for i := 0; i < n; i++ {
+		go func() {
+			observe(i)
+			done <- struct{}{}
+		}()
+	}
+}
+
+func spawnScratch(n int, parts []int, done chan struct{}) {
+	buf := make([]int, 4)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			copy(buf, parts)
+			observe(buf[0], i)
+			done <- struct{}{}
+		}(i)
+	}
+}

@@ -1,0 +1,25 @@
+package fixme
+
+import "sync"
+
+func work() {}
+
+func plainDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}

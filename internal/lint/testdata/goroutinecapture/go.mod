@@ -1,0 +1,3 @@
+module fixcap
+
+go 1.22

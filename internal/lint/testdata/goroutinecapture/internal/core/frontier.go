@@ -1,0 +1,183 @@
+// Package core mirrors the shapes of the real parallel BFS engine: shard
+// loops, CAS-claimed visitation on a shared distance array, per-worker
+// scratch buffers, and pool thunks. Positive cases carry want-markers;
+// everything else is a sanctioned idiom the analyzer must stay silent on.
+package core
+
+import (
+	"sync/atomic"
+
+	"fixcap/internal/pool"
+)
+
+// UnrankInto follows the repository's mutate-in-place kernel convention:
+// any `...Into` callee is assumed to write through its mutable arguments.
+func UnrankInto(r int64, out []int) {
+	for i := range out {
+		out[i] = int(r)
+	}
+}
+
+func observe(vals ...int) int {
+	s := 0
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+func fill(dst *int) { *dst = 1 }
+
+// loopVarCaptures spawns goroutines inside loops that capture the loop
+// variable by reference.
+func loopVarCaptures(parts [][]int64, done chan struct{}) {
+	for i := 0; i < len(parts); i++ {
+		go func() {
+			observe(i) //lintwant captures the loop variable i
+			done <- struct{}{}
+		}()
+	}
+	for _, part := range parts {
+		go func() {
+			observe(len(part)) //lintwant captures the loop variable part
+			done <- struct{}{}
+		}()
+	}
+}
+
+// reboundLoopVar is the sanctioned explicit-rebind shape: the captured
+// identifier is the per-iteration copy, not the loop variable.
+func reboundLoopVar(parts [][]int64, done chan struct{}) {
+	for i := 0; i < len(parts); i++ {
+		i := i
+		go func() {
+			observe(i)
+			done <- struct{}{}
+		}()
+	}
+}
+
+// passedAsArgument is the other sanctioned shape: the loop variable crosses
+// the closure boundary by value.
+func passedAsArgument(parts [][]int64, done chan struct{}) {
+	for i := 0; i < len(parts); i++ {
+		go func(i int) {
+			observe(i)
+			done <- struct{}{}
+		}(i)
+	}
+}
+
+// sharedScratch reuses one scratch buffer across concurrently executing
+// pool invocations — the NewRankScratch bug class.
+func sharedScratch(n int, rs []int64) {
+	scratch := make([]int, 8)
+	pool.Each(n, 0, func(i int) {
+		UnrankInto(rs[i], scratch) //lintwant captured scratch buffer scratch
+	})
+}
+
+// sharedCopyDst hands a captured buffer to copy as its destination.
+func sharedCopyDst(n int, src []int) {
+	buf := make([]int, len(src))
+	pool.Each(n, 0, func(i int) {
+		copy(buf, src) //lintwant captured scratch buffer buf
+	})
+}
+
+// capturedAccumulator reassigns a captured variable from concurrent
+// invocations.
+func capturedAccumulator(n int) int {
+	sum := 0
+	pool.Each(n, 0, func(i int) {
+		sum += i //lintwant captured variable sum is reassigned
+	})
+	count := 0
+	pool.Each(n, 0, func(i int) {
+		count++ //lintwant captured variable count is reassigned
+	})
+	return sum + count
+}
+
+// nonLocalIndex writes a captured slice at an index that is not
+// closure-local, so invocations can collide on the element.
+func nonLocalIndex(n int, out []int) {
+	j := 0
+	pool.Each(n, 0, func(i int) {
+		out[j] = i //lintwant captured variable out is written at an index that is not closure-local
+	})
+}
+
+// fieldWrite mutates a field of a captured struct variable.
+type config struct{ N int }
+
+func fieldWrite(n int) config {
+	var cfg config
+	pool.Each(n, 0, func(i int) {
+		cfg.N = i //lintwant captured variable cfg has a field written
+	})
+	return cfg
+}
+
+// pointerWrite writes through a captured pointer.
+func pointerWrite(n int, ptr *int) {
+	pool.Each(n, 0, func(i int) {
+		*ptr = i //lintwant captured pointer ptr is written through
+	})
+}
+
+// escapingAddress lets a captured variable's address escape into an
+// ordinary call (sync/atomic would be the sanctioned claim pattern).
+func escapingAddress(n int) int {
+	acc := 0
+	pool.Each(n, 0, func(i int) {
+		fill(&acc) //lintwant address of captured variable acc escapes
+	})
+	return acc
+}
+
+// parallelFrontier is the sanctioned real-engine shape: contiguous shards,
+// per-worker state selected by the thunk's own index, CAS claims on the
+// shared distance array through sync/atomic, and a captured scalar passed
+// by value to an Into kernel. None of it may be flagged.
+func parallelFrontier(frontier []int64, dist []int32, workers int) [][]int64 {
+	outs := make([][]int64, workers)
+	scratches := make([][]int, workers)
+	for w := range scratches {
+		scratches[w] = make([]int, 8)
+	}
+	shard := (len(frontier) + workers - 1) / workers
+	d := int32(1)
+	var claimed int64
+	pool.Each(workers, workers, func(wi int) {
+		lo := wi * shard
+		hi := lo + shard
+		if hi > len(frontier) {
+			hi = len(frontier)
+		}
+		mine := scratches[wi]
+		for _, r := range frontier[lo:hi] {
+			UnrankInto(r, mine)
+			if atomic.CompareAndSwapInt32(&dist[r], -1, d) {
+				atomic.AddInt64(&claimed, 1)
+				outs[wi] = append(outs[wi], r)
+			}
+		}
+	})
+	return outs
+}
+
+// gatherByIndex is the sanctioned pool.Map shape: loop-variable reads are
+// safe inside pool thunks (the call blocks until every invocation returns),
+// and results land in closure-local indexed slots.
+func gatherByIndex(parts [][]int64) []int {
+	for _, part := range parts {
+		sizes, err := pool.Map(len(part), 0, func(i int) (int, error) {
+			return int(part[i]), nil
+		})
+		if err == nil && len(sizes) > 0 {
+			return sizes
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package pool is a minimal stand-in for the repository's bounded worker
+// pool: the analyzer recognizes pool.Map / pool.Each thunks by the
+// internal/pool import-path suffix, so the fixture ships one.
+package pool
+
+// Each invokes fn(0..n-1) concurrently and returns after the last call.
+func Each(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Map invokes fn(0..n-1) concurrently, gathering results in index order.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

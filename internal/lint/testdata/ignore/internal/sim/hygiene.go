@@ -16,6 +16,26 @@ func SuppressedAbove() int64 {
 	return time.Now().UnixNano()
 }
 
+// SuppressedMultiline anchors an own-line directive to a statement that
+// wraps across several lines: the finding fires on the statement's second
+// line and must still be suppressed (the directive covers the statement's
+// whole line span, not just the line below it).
+func SuppressedMultiline() int64 {
+	//scglint:ignore simhygiene fixture exercises statement-span anchoring
+	return observeAll(
+		time.Now().UnixNano(),
+		7,
+	)
+}
+
+func observeAll(vals ...int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
 // Unused carries a directive that suppresses nothing.
 func Unused() int {
 	//scglint:ignore simhygiene nothing on the next line fires

@@ -1,0 +1,3 @@
+module fixwg
+
+go 1.22

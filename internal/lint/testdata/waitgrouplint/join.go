@@ -1,0 +1,92 @@
+// Package join exercises the waitgrouplint analyzer: Add before spawn,
+// Done in defer, and no by-value copies of the sync value types. Positive
+// cases carry want-markers; the rest is the sanctioned join protocol.
+package join
+
+import "sync"
+
+func work() {}
+
+// addInsideGoroutine races Add against Wait: the counter can be observed
+// at zero before the worker increments it.
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) //lintwant WaitGroup.Add inside the spawned goroutine
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// deferredAdd is the same race dressed as a defer.
+func deferredAdd() {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Add(1) //lintwant WaitGroup.Add inside the spawned goroutine
+		work()
+	}()
+	wg.Wait()
+}
+
+// plainDone is skipped by early returns and panics; Wait then blocks
+// forever.
+func plainDone(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if fail {
+			return
+		}
+		work()
+		wg.Done() //lintwant WaitGroup.Done is not deferred
+	}()
+	wg.Wait()
+}
+
+// sanctioned is the repository's join protocol: Add in the spawner, Done
+// deferred first in the closure.
+func sanctioned(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// waitOnCopy receives a WaitGroup by value: the copy's counter is not the
+// caller's, so Wait returns immediately (or never).
+func waitOnCopy(wg sync.WaitGroup) { //lintwant parameter is declared as a sync.WaitGroup value
+	wg.Wait()
+}
+
+// leakMutex returns a Mutex by value: the caller's copy guards nothing.
+func leakMutex() sync.Mutex { //lintwant result is declared as a sync.Mutex value
+	var mu sync.Mutex
+	return mu
+}
+
+// copies exercises the assignment and call-argument copy shapes.
+func takeOnce(o sync.Once) { //lintwant parameter is declared as a sync.Once value
+	o.Do(work)
+}
+
+func copies() {
+	var mu sync.RWMutex
+	cp := mu //lintwant assignment copies a sync.RWMutex value
+	cp.Lock()
+	var once sync.Once
+	takeOnce(once) //lintwant call passes a sync.Once by value
+}
+
+// pointersAreFine shares sync values the sanctioned way.
+func pointersAreFine(wg *sync.WaitGroup, mu *sync.Mutex) {
+	p := mu
+	p.Lock()
+	defer p.Unlock()
+	wg.Wait()
+}

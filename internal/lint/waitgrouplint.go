@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerWaitGroupLint enforces the repository's WaitGroup discipline —
+// the join protocol every parallel measurement (pool.Map/Each, the level
+// barriers of the parallel BFS) depends on:
+//
+//   - wg.Add must run in the spawning goroutine, before the go statement:
+//     an Add inside the spawned closure races with Wait, which may observe
+//     the counter at zero and return while workers are still starting
+//     (suggested fix: move the Add onto the line above the go statement);
+//   - wg.Done inside a spawned closure must be deferred: a plain Done is
+//     skipped by early returns and panics, and Wait then blocks forever —
+//     the deadlock class the fault-injection runs exist to surface
+//     (suggested fix: delete the call and defer it at the top of the
+//     closure);
+//   - sync.WaitGroup, sync.Mutex, sync.RWMutex, and sync.Once are value
+//     types whose copies share no state: a copied WaitGroup waits on
+//     nothing, a copied Mutex guards nothing. Copies via parameters,
+//     results, assignments from existing values, and call arguments are
+//     flagged; pass pointers (or keep the value and share the pointer).
+//
+// The deferred-Done rule is checked on closures launched by go statements;
+// goroutines entered through internal/pool manage their WaitGroup
+// internally and are outside the analyzer's scope.
+var analyzerWaitGroupLint = &Analyzer{
+	Name: "waitgrouplint",
+	Doc:  "WaitGroup discipline: Add before spawn, Done in defer, no copied sync values",
+	Run:  runWaitGroupLint,
+}
+
+// syncValueTypes are the copy-unsafe sync types the copy check covers.
+var syncValueTypes = map[string]bool{"WaitGroup": true, "Mutex": true, "RWMutex": true, "Once": true}
+
+// syncValueType reports whether t is (exactly) one of the copy-unsafe sync
+// value types, returning its rendered name.
+func syncValueType(t types.Type) (string, bool) {
+	nt, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := nt.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || !syncValueTypes[obj.Name()] {
+		return "", false
+	}
+	return "sync." + obj.Name(), true
+}
+
+// waitGroupMethod decodes call as wg.<Add|Done|Wait>(...) on a
+// sync.WaitGroup value or pointer, returning the receiver expression.
+func waitGroupMethod(p *Package, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	tv, hasType := p.Info.Types[sel.X]
+	if !hasType {
+		return nil, "", false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if name, isSync := syncValueType(t); !isSync || name != "sync.WaitGroup" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+func runWaitGroupLint(p *Package, report Reporter) {
+	ix := p.index()
+	for _, g := range ix.goStmts {
+		if lit, ok := g.node.Call.Fun.(*ast.FuncLit); ok {
+			checkSpawnedClosure(p, g.node, lit, report)
+		}
+	}
+	// The copy sweep touches the type of every assignment source and call
+	// argument, so it only runs where it can fire: declaring or producing a
+	// sync value names the type and therefore imports sync. (A copy pulled
+	// from another package's exported field without the import is the one
+	// shape outside the gate — accepted, it cannot occur here because the
+	// parameter/result checks keep sync values out of exported APIs.)
+	if importsPackage(p, "sync") {
+		checkSyncCopies(p, ix, report)
+	}
+}
+
+// checkSpawnedClosure audits one go-launched closure for misplaced Add and
+// undeferred Done calls.
+func checkSpawnedClosure(p *Package, goStmt *ast.GoStmt, lit *ast.FuncLit, report Reporter) {
+	walkStmtLists(lit.Body, func(list []ast.Stmt) {
+		for _, s := range list {
+			es, isExpr := s.(*ast.ExprStmt)
+			if !isExpr {
+				continue
+			}
+			call, isCall := es.X.(*ast.CallExpr)
+			if !isCall {
+				continue
+			}
+			recv, method, ok := waitGroupMethod(p, call)
+			if !ok {
+				continue
+			}
+			switch method {
+			case "Add":
+				var f *fixSpec
+				if text, renderable := renderCall(recv, call); renderable && stmtAloneOnLine(p.Fset, list, s, lit.Body) {
+					f = fix("move the Add before the go statement",
+						deleteLine(s.Pos()),
+						insertLineAbove(goStmt.Pos(), text))
+				}
+				report(call.Pos(),
+					"WaitGroup.Add inside the spawned goroutine races with Wait (the counter can be observed at zero before the worker starts)",
+					"call Add in the spawning goroutine, on the line before the go statement", f)
+			case "Done":
+				var f *fixSpec
+				if text, renderable := renderCall(recv, call); renderable && stmtAloneOnLine(p.Fset, list, s, lit.Body) {
+					f = fix("defer the Done at the top of the closure",
+						deleteLine(s.Pos()),
+						insertLineAbove(firstStmtPos(lit.Body), "defer "+text))
+				}
+				report(call.Pos(),
+					"WaitGroup.Done is not deferred; an early return or panic in this goroutine skips it and Wait blocks forever",
+					"make `defer "+typeString(recv)+".Done()` the first statement of the closure", f)
+			}
+		}
+	})
+	// A deferred Done is the sanctioned shape; deferred Add never is, but
+	// the Add check above only sees plain statements, so sweep defers too.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ds, isDefer := n.(*ast.DeferStmt)
+		if !isDefer {
+			return true
+		}
+		if _, method, ok := waitGroupMethod(p, ds.Call); ok && method == "Add" {
+			report(ds.Call.Pos(),
+				"WaitGroup.Add inside the spawned goroutine races with Wait (the counter can be observed at zero before the worker starts)",
+				"call Add in the spawning goroutine, on the line before the go statement")
+		}
+		return true
+	})
+}
+
+// walkStmtLists visits every statement list under root (skipping nested
+// function literals, which are separate goroutine bodies or synchronous
+// helpers with their own discipline).
+func walkStmtLists(root ast.Node, visit func(list []ast.Stmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			visit(t.List)
+		case *ast.CaseClause:
+			visit(t.Body)
+		case *ast.CommClause:
+			visit(t.Body)
+		}
+		return true
+	})
+}
+
+// renderCall reconstructs simple method-call source text ("wg.Add(1)") for
+// relocation fixes; non-trivial receivers or arguments disable the fix.
+func renderCall(recv ast.Expr, call *ast.CallExpr) (string, bool) {
+	recvText := typeString(recv)
+	if recvText == "?" {
+		return "", false
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	args := ""
+	for i, a := range call.Args {
+		var t string
+		switch arg := a.(type) {
+		case *ast.BasicLit:
+			t = arg.Value
+		case *ast.Ident:
+			t = arg.Name
+		default:
+			return "", false
+		}
+		if i > 0 {
+			args += ", "
+		}
+		args += t
+	}
+	return recvText + "." + sel.Sel.Name + "(" + args + ")", true
+}
+
+// stmtAloneOnLine reports whether s occupies its line alone within its
+// statement list (no sibling statement or body brace shares the line), so
+// whole-line edits cannot clobber unrelated code.
+func stmtAloneOnLine(fset *token.FileSet, list []ast.Stmt, s ast.Stmt, body *ast.BlockStmt) bool {
+	line := fset.Position(s.Pos()).Line
+	if fset.Position(s.End()).Line != line {
+		return false
+	}
+	for _, other := range list {
+		if other == s {
+			continue
+		}
+		if fset.Position(other.Pos()).Line == line || fset.Position(other.End()).Line == line {
+			return false
+		}
+	}
+	return fset.Position(body.Lbrace).Line != line && fset.Position(body.Rbrace).Line != line
+}
+
+// firstStmtPos returns the anchor position for inserting at the top of a
+// body: its first statement, or the closing brace of an empty body.
+func firstStmtPos(body *ast.BlockStmt) token.Pos {
+	if len(body.List) > 0 {
+		return body.List[0].Pos()
+	}
+	return body.Rbrace
+}
+
+// checkSyncCopies flags by-value copies of the copy-unsafe sync types.
+func checkSyncCopies(p *Package, ix *index, report Reporter) {
+	for _, fd := range ix.funcDecls {
+		checkSyncFieldList(p, fd.Type.Params, "parameter", report)
+		checkSyncFieldList(p, fd.Type.Results, "result", report)
+	}
+	for _, a := range ix.assigns {
+		for _, rhs := range a.node.Rhs {
+			if name, ok := copiesSyncValue(p, rhs); ok {
+				report(rhs.Pos(),
+					"assignment copies a "+name+" value; the copy shares no state with the original",
+					"share a pointer (*"+name+") instead of copying the value")
+			}
+		}
+	}
+	for _, c := range ix.calls {
+		for _, arg := range c.node.Args {
+			if name, ok := copiesSyncValue(p, arg); ok {
+				report(arg.Pos(),
+					"call passes a "+name+" by value; the callee operates on a copy that shares no state",
+					"pass &"+typeString(arg)+" and take a *"+name+" parameter")
+			}
+		}
+	}
+}
+
+func checkSyncFieldList(p *Package, fl *ast.FieldList, what string, report Reporter) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if name, isSync := syncValueType(tv.Type); isSync {
+			report(field.Type.Pos(),
+				what+" is declared as a "+name+" value; every call copies it and the copy shares no state",
+				"declare the "+what+" as *"+name)
+		}
+	}
+}
+
+// copiesSyncValue reports whether e reads an existing sync value (ident,
+// selector, index, or dereference — shapes that copy on use); fresh
+// composite literals and calls do not copy.
+func copiesSyncValue(p *Package, e ast.Expr) (string, bool) {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return "", false
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return "", false
+	}
+	return syncValueType(tv.Type)
+}

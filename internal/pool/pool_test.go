@@ -103,6 +103,43 @@ func TestMapRunsEveryIndexOnce(t *testing.T) {
 	}
 }
 
+func TestEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		counts := make([]int64, 100)
+		Each(len(counts), workers, func(i int) {
+			atomic.AddInt64(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: fn(%d) ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestEachEmpty(t *testing.T) {
+	Each(0, 4, func(i int) { t.Fatalf("fn(%d) called for n=0", i) })
+	Each(-3, 4, func(i int) { t.Fatalf("fn(%d) called for n<0", i) })
+}
+
+func TestEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int64
+	Each(50, workers, func(i int) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		atomic.AddInt64(&inFlight, -1)
+	})
+	if p := atomic.LoadInt64(&peak); p > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", p, workers)
+	}
+}
+
 func ExampleMap() {
 	squares, _ := Map(4, 2, func(i int) (int, error) { return i * i, nil })
 	fmt.Println(squares)
