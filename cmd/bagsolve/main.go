@@ -16,22 +16,28 @@ import (
 	"repro/internal/bag"
 	"repro/internal/gen"
 	"repro/internal/perm"
+	"repro/internal/version"
 )
 
 func main() {
 	var (
-		l       = flag.Int("l", 3, "number of boxes")
-		n       = flag.Int("n", 2, "balls per box")
-		state   = flag.String("state", "", "initial configuration, e.g. 5342671 (random if empty)")
-		seed    = flag.Uint64("seed", 1, "seed for a random initial configuration")
-		balls   = flag.String("balls", "transposition", "ball moves: transposition | insertion")
-		boxes   = flag.String("boxes", "swap", "box moves: swap | rot-single | rot-pair | rot-complete | none")
-		offset  = flag.Int("offset", -1, "fixed box-color offset (rotation styles); -1 searches all")
-		star    = flag.Bool("star", false, "solve as a star-graph game (T2..Tk) instead")
-		optimal = flag.Bool("optimal", false, "find a provably shortest solution (IDA*; exponential in distance)")
-		trace   = flag.Bool("trace", false, "print every intermediate configuration")
+		l           = flag.Int("l", 3, "number of boxes")
+		n           = flag.Int("n", 2, "balls per box")
+		state       = flag.String("state", "", "initial configuration, e.g. 5342671 (random if empty)")
+		seed        = flag.Uint64("seed", 1, "seed for a random initial configuration")
+		balls       = flag.String("balls", "transposition", "ball moves: transposition | insertion")
+		boxes       = flag.String("boxes", "swap", "box moves: swap | rot-single | rot-pair | rot-complete | none")
+		offset      = flag.Int("offset", -1, "fixed box-color offset (rotation styles); -1 searches all")
+		star        = flag.Bool("star", false, "solve as a star-graph game (T2..Tk) instead")
+		optimal     = flag.Bool("optimal", false, "find a provably shortest solution (IDA*; exponential in distance)")
+		trace       = flag.Bool("trace", false, "print every intermediate configuration")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("bagsolve"))
+		return
+	}
 
 	if *star {
 		u := mustState(*state, *seed, kFromState(*state, 5))

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/perm"
 	"repro/internal/topology"
+	"repro/internal/version"
 )
 
 // Report is the top-level JSON document.
@@ -55,13 +56,18 @@ type Entry struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_baseline.json", "output path, or - for stdout")
-		maxK    = flag.Int("maxk", 10, "largest BFS dimension to measure (8..10)")
-		rounds  = flag.Int("rounds", 3, "rounds per BFS benchmark (best-of is not used; the mean is reported)")
-		quick   = flag.Bool("quick", false, "CI smoke mode: k <= 8, one round, fewer kernel iterations")
-		workers = flag.Int("workers", 0, "parallel BFS worker count (0 = GOMAXPROCS)")
+		out         = flag.String("out", "BENCH_baseline.json", "output path, or - for stdout")
+		maxK        = flag.Int("maxk", 10, "largest BFS dimension to measure (8..10)")
+		rounds      = flag.Int("rounds", 3, "rounds per BFS benchmark (best-of is not used; the mean is reported)")
+		quick       = flag.Bool("quick", false, "CI smoke mode: k <= 8, one round, fewer kernel iterations")
+		workers     = flag.Int("workers", 0, "parallel BFS worker count (0 = GOMAXPROCS)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("benchreport"))
+		return
+	}
 	if *quick {
 		if *maxK > 8 {
 			*maxK = 8

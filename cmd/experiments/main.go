@@ -32,18 +32,24 @@ import (
 	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/version"
 )
 
 func main() {
 	var (
-		out        = flag.String("out", "results", "output directory")
-		maxK       = flag.Int("maxk", 7, "largest k for exhaustive measurements")
-		traceFile  = flag.String("trace", "", "MNB example trace file (default <out>/mnb_ms22_trace.ndjson)")
-		statsEvery = flag.Int("stats-every", 1, "coalesce per-step trace samples into windows of n steps")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		out         = flag.String("out", "results", "output directory")
+		maxK        = flag.Int("maxk", 7, "largest k for exhaustive measurements")
+		traceFile   = flag.String("trace", "", "MNB example trace file (default <out>/mnb_ms22_trace.ndjson)")
+		statsEvery  = flag.Int("stats-every", 1, "coalesce per-step trace samples into windows of n steps")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("experiments"))
+		return
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
 	}

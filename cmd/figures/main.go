@@ -15,16 +15,22 @@ import (
 	"os"
 
 	"repro/internal/figures"
+	"repro/internal/version"
 )
 
 func main() {
 	var (
-		artifact = flag.String("artifact", "all", "fig4 | fig5 | fig6 | table1 | avgdist | compare | all")
-		exact    = flag.Bool("exact", false, "overlay exact BFS diameters (fig5)")
-		plot     = flag.Bool("plot", false, "draw ASCII scatter plots instead of tables (fig4/fig5/fig6)")
-		maxK     = flag.Int("maxk", 7, "largest k for exact measurements (BFS over k! states)")
+		artifact    = flag.String("artifact", "all", "fig4 | fig5 | fig6 | table1 | avgdist | compare | all")
+		exact       = flag.Bool("exact", false, "overlay exact BFS diameters (fig5)")
+		plot        = flag.Bool("plot", false, "draw ASCII scatter plots instead of tables (fig4/fig5/fig6)")
+		maxK        = flag.Int("maxk", 7, "largest k for exact measurements (BFS over k! states)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("figures"))
+		return
+	}
 
 	run := func(name string) {
 		switch name {

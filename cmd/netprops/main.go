@@ -28,23 +28,29 @@ import (
 	"repro/internal/perm"
 	"repro/internal/pool"
 	"repro/internal/topology"
+	"repro/internal/version"
 )
 
 func main() {
 	var (
-		family  = flag.String("family", "MS", "family: star | rotator | pancake | bubble-sort | transposition | IS | MS | RS | complete-RS | MR | RR | complete-RR | MIS | RIS | complete-RIS")
-		l       = flag.Int("l", 3, "number of super-symbols (super Cayley families)")
-		n       = flag.Int("n", 2, "super-symbol length (or k-1 for nucleus-only families)")
-		k       = flag.Int("k", 0, "dimension for nucleus-only families (overrides -n)")
-		exact   = flag.Bool("exact", false, "measure exact diameter and average distance by BFS")
-		doMCMP  = flag.Bool("mcmp", false, "measure the MCMP intercluster profile (super Cayley families)")
-		w       = flag.Float64("w", 1.0, "per-node off-chip bandwidth for the MCMP model")
-		stretch = flag.Int("stretch", 0, "sample this many pairs and compare solver routes to exact shortest paths")
-		dot     = flag.Bool("dot", false, "write the graph in Graphviz DOT format to stdout and exit")
-		sweep   = flag.Int("sweep", 0, "measure every enumerable instance of the family with k <= this, concurrently")
-		workers = flag.Int("workers", 0, "worker-pool size for -sweep (0 = GOMAXPROCS)")
+		family      = flag.String("family", "MS", "family: star | rotator | pancake | bubble-sort | transposition | IS | MS | RS | complete-RS | MR | RR | complete-RR | MIS | RIS | complete-RIS")
+		l           = flag.Int("l", 3, "number of super-symbols (super Cayley families)")
+		n           = flag.Int("n", 2, "super-symbol length (or k-1 for nucleus-only families)")
+		k           = flag.Int("k", 0, "dimension for nucleus-only families (overrides -n)")
+		exact       = flag.Bool("exact", false, "measure exact diameter and average distance by BFS")
+		doMCMP      = flag.Bool("mcmp", false, "measure the MCMP intercluster profile (super Cayley families)")
+		w           = flag.Float64("w", 1.0, "per-node off-chip bandwidth for the MCMP model")
+		stretch     = flag.Int("stretch", 0, "sample this many pairs and compare solver routes to exact shortest paths")
+		dot         = flag.Bool("dot", false, "write the graph in Graphviz DOT format to stdout and exit")
+		sweep       = flag.Int("sweep", 0, "measure every enumerable instance of the family with k <= this, concurrently")
+		workers     = flag.Int("workers", 0, "worker-pool size for -sweep (0 = GOMAXPROCS)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("netprops"))
+		return
+	}
 
 	fam, err := familyByName(*family)
 	fail(err)
@@ -177,15 +183,11 @@ func runSweep(fam topology.Family, maxK, workers int) error {
 }
 
 func familyByName(name string) (topology.Family, error) {
-	all := append(topology.AllSuperCayleyFamilies(),
-		topology.Star, topology.Rotator, topology.Pancake,
-		topology.BubbleSort, topology.TranspositionNet, topology.IS)
-	for _, f := range all {
-		if f.String() == name {
-			return f, nil
-		}
+	f, err := topology.ParseFamily(name)
+	if err != nil {
+		return 0, fmt.Errorf("unknown family %q", name)
 	}
-	return 0, fmt.Errorf("unknown family %q", name)
+	return f, nil
 }
 
 func fail(err error) {

@@ -1,0 +1,94 @@
+// Command scgd is the super-Cayley topology-query daemon: a stdlib-only
+// net/http JSON service answering the query workload a fabric controller
+// issues against the paper's networks — route lookup (the ball-arrangement
+// game solvers), neighbor enumeration, degree/diameter/cost metrics, and
+// async exact BFS profiles — from a byte-budgeted topology cache with
+// request coalescing and per-endpoint admission control.
+//
+// Endpoints: /v1/route, /v1/neighbors, /v1/metrics, /v1/profile (async
+// jobs: submit returns a job ID, poll with ?id=), /healthz, /statsz.
+//
+// Examples:
+//
+//	scgd -addr :8080
+//	curl 'localhost:8080/v1/route?family=MS&l=2&n=3&src=1234567&dst=7654321'
+//	curl 'localhost:8080/v1/metrics?family=complete-RS&l=3&n=2'
+//	curl 'localhost:8080/v1/profile?family=MS&l=2&n=3'   # -> job id
+//	curl 'localhost:8080/v1/profile?id=job-1'            # -> status/result
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight requests drain (bounded by -drain-timeout), queued profile
+// jobs finish, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		cacheMB      = flag.Int64("cache-mb", 256, "topology/profile cache budget in MiB")
+		maxInflight  = flag.Int("max-inflight", 64, "max concurrent requests per gated endpoint (excess get 503)")
+		profWorkers  = flag.Int("profile-workers", 0, "exact-profile job workers (0 = GOMAXPROCS)")
+		profQueue    = flag.Int("profile-queue", 16, "exact-profile job queue depth (full queue gets 503)")
+		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request context deadline")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain bound for in-flight requests")
+		maxK         = flag.Int("max-k", 20, "largest node-label length a request may materialize (<= 20)")
+		accessLog    = flag.String("access-log", "", "NDJSON access-record path ('-' for stdout, empty = off)")
+		showVersion  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("scgd"))
+		return
+	}
+
+	cfg := server.Config{
+		CacheBytes:     *cacheMB << 20,
+		MaxInflight:    *maxInflight,
+		ProfileWorkers: *profWorkers,
+		ProfileQueue:   *profQueue,
+		RequestTimeout: *reqTimeout,
+		MaxK:           *maxK,
+	}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		fail(err)
+		defer func() { _ = f.Close() }()
+		cfg.AccessLog = f
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	fail(err)
+	fmt.Printf("scgd listening on %s (cache %d MiB, %d in-flight per endpoint)\n",
+		ln.Addr(), *cacheMB, *maxInflight)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	s := server.New(cfg)
+	err = server.Run(ctx, ln, s, *drainTimeout)
+	fail(err)
+	fmt.Println("scgd: drained, bye")
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scgd:", err)
+		os.Exit(1)
+	}
+}

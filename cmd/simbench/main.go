@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/version"
 )
 
 func main() {
@@ -45,12 +46,17 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		bufCap   = flag.Int("bufcap", 0, "finite per-link buffer capacity (0 = unbounded; te/random/perm)")
 
-		traceFile  = flag.String("trace", "", "write the run record to this file (NDJSON, or CSV when it ends in .csv)")
-		statsEvery = flag.Int("stats-every", 1, "coalesce per-step trace samples into windows of n steps")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		traceFile   = flag.String("trace", "", "write the run record to this file (NDJSON, or CSV when it ends in .csv)")
+		statsEvery  = flag.Int("stats-every", 1, "coalesce per-step trace samples into windows of n steps")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("simbench"))
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -158,12 +158,11 @@ func fillMeasured(row *Table1Row, nw *topology.Network) error {
 }
 
 func familyByName(name string) (topology.Family, error) {
-	for _, f := range topology.AllSuperCayleyFamilies() {
-		if f.String() == name {
-			return f, nil
-		}
+	f, err := topology.ParseFamily(name)
+	if err != nil {
+		return 0, fmt.Errorf("figures: unknown family %q", name)
 	}
-	return 0, fmt.Errorf("figures: unknown family %q", name)
+	return f, nil
 }
 
 func abs(x int) int {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/version"
 )
 
 // Exit codes of the scglint driver, mirroring the go vet contract.
@@ -36,6 +38,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		list     = fs.Bool("list", false, "list analyzers and exit")
 		chdir    = fs.String("C", ".", "directory whose enclosing module is analyzed")
 		showDocs = fs.Bool("v", false, "with -list, include analyzer documentation")
+		showVer  = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Usage = func() {
 		_, _ = fmt.Fprintf(stderr, "usage: scglint [flags] [packages]\n\n")
@@ -45,6 +48,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return ExitError
+	}
+	if *showVer {
+		_, _ = fmt.Fprintln(stdout, version.String("scglint"))
+		return ExitClean
 	}
 	if *list {
 		for _, a := range Analyzers() {

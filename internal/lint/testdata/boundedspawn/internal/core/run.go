@@ -10,7 +10,7 @@ func step(i int) {}
 // rawSpawn fans out with naked goroutines.
 func rawSpawn(n int, done chan struct{}) {
 	for i := 0; i < n; i++ {
-		go func(i int) { //lintwant raw go statement in a measurement package
+		go func(i int) { //lintwant raw go statement in a spawn-audited package
 			step(i)
 			done <- struct{}{}
 		}(i)

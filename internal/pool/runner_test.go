@@ -1,0 +1,79 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunnerRunsEverythingAdmitted(t *testing.T) {
+	r := NewRunner(4, 16)
+	var ran int64
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if r.Submit(func() { atomic.AddInt64(&ran, 1) }) {
+			admitted++
+		}
+	}
+	r.Close()
+	if int(ran) != admitted {
+		t.Fatalf("ran %d tasks, admitted %d", ran, admitted)
+	}
+	if admitted == 0 {
+		t.Fatal("no task was admitted")
+	}
+}
+
+func TestRunnerQueueFullRejects(t *testing.T) {
+	r := NewRunner(1, 1)
+	block := make(chan struct{})
+	// Occupy the single worker, then fill the single queue slot.
+	if !r.Submit(func() { <-block }) {
+		t.Fatal("first submit rejected")
+	}
+	// The worker may not have dequeued the blocker yet; keep trying until
+	// one more task fits (worker busy, queue empty) or we give up.
+	var queued int32
+	ok := false
+	for i := 0; i < 100000 && !ok; i++ {
+		ok = r.Submit(func() { atomic.AddInt32(&queued, 1) })
+		runtime.Gosched()
+	}
+	if !ok {
+		t.Fatal("could not queue a second task")
+	}
+	// Now worker is blocked and at least the buffer slot is taken: keep
+	// submitting until one is rejected.
+	rejected := false
+	for i := 0; i < 3 && !rejected; i++ {
+		rejected = !r.Submit(func() { atomic.AddInt32(&queued, 1) })
+	}
+	if !rejected {
+		t.Fatal("runner with full queue never rejected a submit")
+	}
+	close(block)
+	r.Close()
+	if atomic.LoadInt32(&queued) == 0 {
+		t.Fatal("queued task never ran")
+	}
+}
+
+func TestRunnerCloseDrainsAndRejects(t *testing.T) {
+	r := NewRunner(2, 8)
+	var ran int64
+	for i := 0; i < 8; i++ {
+		r.Submit(func() { atomic.AddInt64(&ran, 1) })
+	}
+	r.Close()
+	got := atomic.LoadInt64(&ran)
+	if got == 0 {
+		t.Fatal("Close returned before any admitted task ran")
+	}
+	if r.Submit(func() { atomic.AddInt64(&ran, 1) }) {
+		t.Fatal("Submit after Close was admitted")
+	}
+	if atomic.LoadInt64(&ran) != got {
+		t.Fatal("task ran after Close")
+	}
+	r.Close() // idempotent
+}

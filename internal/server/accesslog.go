@@ -1,0 +1,62 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AccessRecord is one NDJSON access-log line: the request-level counterpart
+// of internal/obs run records, one JSON object per line so the file streams
+// into the same jq/column tooling.
+type AccessRecord struct {
+	// Time is the request start in RFC3339Nano.
+	Time string `json:"ts"`
+	// Method and Path identify the request; Endpoint is the logical handler
+	// name used by /statsz ("/v1/route", ...).
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Endpoint string `json:"endpoint"`
+	// Status is the HTTP status written; DurationUS the service time in
+	// microseconds.
+	Status     int    `json:"status"`
+	DurationUS int64  `json:"dur_us"`
+	Remote     string `json:"remote,omitempty"`
+}
+
+// accessLog serializes AccessRecords onto one writer. A nil *accessLog is
+// the documented "logging off" value, mirroring the nil-Recorder discipline
+// of internal/obs.
+type accessLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newAccessLog(w io.Writer) *accessLog {
+	if w == nil {
+		return nil
+	}
+	return &accessLog{enc: json.NewEncoder(w)}
+}
+
+func (a *accessLog) log(r *http.Request, endpoint string, status int, start time.Time, d time.Duration) {
+	if a == nil {
+		return
+	}
+	rec := AccessRecord{
+		Time:       start.UTC().Format(time.RFC3339Nano),
+		Method:     r.Method,
+		Path:       r.URL.Path,
+		Endpoint:   endpoint,
+		Status:     status,
+		DurationUS: d.Microseconds(),
+		Remote:     r.RemoteAddr,
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// A failed write (closed file, full disk) must not fail the request;
+	// the next scrape of /statsz still has the aggregate view.
+	_ = a.enc.Encode(rec)
+}

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Key identifies one network instance. For nucleus-only families the
+// request decoder canonicalizes L to 1, so "star with l=3" and "star with
+// l=1" share one cache line.
+type Key struct {
+	Family topology.Family
+	L, N   int
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%v(%d,%d)", k.Family, k.L, k.N)
+}
+
+// K returns the label length n·l+1 (n+1 for nucleus-only families).
+func (k Key) K() int {
+	if k.Family.IsSuperCayley() {
+		return k.N*k.L + 1
+	}
+	return k.N + 1
+}
+
+// cacheKind separates the two value classes sharing the LRU: materialized
+// topologies (cheap: the generator set as explicit permutations) and exact
+// BFS profiles (expensive: a k!-entry rank-indexed distance table).
+type cacheKind uint8
+
+const (
+	kindNetwork cacheKind = iota
+	kindProfile
+)
+
+type cacheKey struct {
+	kind cacheKind
+	key  Key
+}
+
+// entry is one resident value on the LRU ring (most recent next to head).
+type entry struct {
+	ck         cacheKey
+	val        any
+	bytes      int64
+	prev, next *entry
+}
+
+// flight is one in-progress build that concurrent misses coalesce onto.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// CacheStats is the /statsz cache slice. Hits are answered from residency;
+// every Miss triggers exactly one Build; Coalesced counts requests that
+// waited on another request's build instead of starting their own.
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Builds      int64 `json:"builds"`
+	Coalesced   int64 `json:"coalesced"`
+	Evictions   int64 `json:"evictions"`
+	Oversize    int64 `json:"oversize"`
+	Entries     int   `json:"entries"`
+	BytesUsed   int64 `json:"bytes_used"`
+	BytesBudget int64 `json:"bytes_budget"`
+}
+
+// Cache is a byte-budgeted LRU of materialized topologies and exact-profile
+// distance tables, keyed by (family, l, n), with singleflight request
+// coalescing: N concurrent misses on one key trigger exactly one build, the
+// N-1 others block (honoring their contexts) until it lands. Builds run on
+// the caller's goroutine — the cache spawns nothing.
+type Cache struct {
+	budget int64
+
+	mu      sync.Mutex
+	entries map[cacheKey]*entry
+	flights map[cacheKey]*flight
+	// head/tail delimit the LRU ring: head.next is most recent, tail.prev
+	// least recent. Sentinels avoid nil checks on every splice.
+	head, tail *entry
+	used       int64
+	stats      CacheStats
+}
+
+// NewCache returns a cache that keeps at most budgetBytes of materialized
+// state resident (estimated; a value larger than the whole budget is served
+// but never cached).
+func NewCache(budgetBytes int64) *Cache {
+	if budgetBytes < 1 {
+		budgetBytes = 1
+	}
+	c := &Cache{
+		budget:  budgetBytes,
+		entries: make(map[cacheKey]*entry),
+		flights: make(map[cacheKey]*flight),
+		head:    &entry{},
+		tail:    &entry{},
+	}
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	return c
+}
+
+// Network returns the materialized network for key, building it at most
+// once no matter how many requests race on a cold key.
+func (c *Cache) Network(ctx context.Context, key Key) (*topology.Network, error) {
+	v, err := c.getOrBuild(ctx, cacheKey{kindNetwork, key}, func() (any, int64, error) {
+		nw, err := topology.New(key.Family, key.L, key.N)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nw, networkBytes(nw), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*topology.Network), nil
+}
+
+// Profile returns the exact BFS profile (diameter, average distance, and
+// the rank-indexed distance table) for key, running the k!-state search at
+// most once per residency. This is the expensive path — the scgd handlers
+// only reach it through the async job manager.
+func (c *Cache) Profile(ctx context.Context, key Key) (*core.BFSResult, error) {
+	nw, err := c.Network(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	v, err := c.getOrBuild(ctx, cacheKey{kindProfile, key}, func() (any, int64, error) {
+		res, err := nw.Graph().ExactProfile()
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, profileBytes(res), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.BFSResult), nil
+}
+
+// CachedProfile returns the resident exact profile for key without building
+// anything; ok is false on a cold key. Used by /v1/route and /v1/metrics to
+// add exact distances opportunistically.
+func (c *Cache) CachedProfile(key Key) (*core.BFSResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[cacheKey{kindProfile, key}]
+	if !ok {
+		return nil, false
+	}
+	c.touch(e)
+	c.stats.Hits++
+	return e.val.(*core.BFSResult), true
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.BytesUsed = c.used
+	s.BytesBudget = c.budget
+	return s
+}
+
+func (c *Cache) getOrBuild(ctx context.Context, ck cacheKey, build func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[ck]; ok {
+		c.touch(e)
+		c.stats.Hits++
+		v := e.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.flights[ck]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[ck] = f
+	c.stats.Misses++
+	c.stats.Builds++
+	c.mu.Unlock()
+
+	val, bytes, err := build()
+
+	c.mu.Lock()
+	delete(c.flights, ck)
+	if err == nil {
+		c.insert(ck, val, bytes)
+	}
+	f.val, f.err = val, err
+	close(f.done)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+// insert adds a freshly built value and evicts from the cold end until the
+// budget holds again. Callers hold c.mu.
+func (c *Cache) insert(ck cacheKey, val any, bytes int64) {
+	if bytes > c.budget {
+		c.stats.Oversize++
+		return
+	}
+	if old, ok := c.entries[ck]; ok {
+		// A concurrent eviction-then-rebuild can race an earlier insert;
+		// keep the newer value.
+		c.unlink(old)
+		c.used -= old.bytes
+		delete(c.entries, ck)
+	}
+	e := &entry{ck: ck, val: val, bytes: bytes}
+	c.entries[ck] = e
+	c.linkFront(e)
+	c.used += bytes
+	for c.used > c.budget && c.tail.prev != c.head {
+		lru := c.tail.prev
+		c.unlink(lru)
+		delete(c.entries, lru.ck)
+		c.used -= lru.bytes
+		c.stats.Evictions++
+	}
+}
+
+func (c *Cache) touch(e *entry) {
+	c.unlink(e)
+	c.linkFront(e)
+}
+
+func (c *Cache) linkFront(e *entry) {
+	e.prev = c.head
+	e.next = c.head.next
+	c.head.next.prev = e
+	c.head.next = e
+}
+
+func (c *Cache) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// networkBytes estimates the resident footprint of a materialized network:
+// the generator permutations plus fixed struct overhead.
+func networkBytes(nw *topology.Network) int64 {
+	k := int64(nw.K())
+	degree := int64(nw.Graph().OutDegree())
+	return degree*k*8 + 512
+}
+
+// profileBytes estimates the resident footprint of an exact profile: the
+// rank-indexed int32 distance table dominates.
+func profileBytes(res *core.BFSResult) int64 {
+	return int64(len(res.Dist))*4 + int64(len(res.Histogram))*8 + 256
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzRouteRequest hardens the /v1/route decoder: no query string or JSON
+// body, however malformed, may panic the handler or surface as a 5xx — bad
+// input is always a clean 4xx with a JSON error payload. The server is
+// shared across iterations, as in production; MaxK keeps the fuzzer from
+// discovering "valid but enormous" instances and turning the harness into a
+// topology benchmark.
+func FuzzRouteRequest(f *testing.F) {
+	f.Add("family=MS&l=2&n=3&src=2314567&dst=7654321", "")
+	f.Add("family=star&n=3&src=3214&dst=1234", "")
+	f.Add("family=nope&l=2&n=3", "")
+	f.Add("family=MS&l=-1&n=99&src=1&dst=2", "")
+	f.Add("family=MS&l=2&n=3&src=1134567&dst=7654321", "")
+	f.Add("l=2&n=3&src=&dst=", "")
+	f.Add("family=MS&l=99999999999999999999&n=3", "")
+	f.Add("", `{"family":"MS","l":2,"n":3,"src":"2314567","dst":"7654321"}`)
+	f.Add("", `{"family":"MS","l":2,"n":3,"src":"2314567"`)
+	f.Add("", `{not json`)
+	f.Add("", `{"family":"RS","l":1e9,"n":3}`)
+	f.Add("", `null`)
+	f.Add("%zz=&&&=%%", "\x00\xff")
+
+	s := New(Config{
+		CacheBytes:     32 << 20,
+		MaxK:           7,
+		RequestTimeout: 30 * time.Second,
+	})
+	defer s.Close()
+
+	f.Fuzz(func(t *testing.T, query, body string) {
+		var r *http.Request
+		if body != "" {
+			r = httptest.NewRequest(http.MethodPost, "/v1/route", strings.NewReader(body))
+		} else {
+			// Bytes a real connection could never deliver as a request
+			// target are the transport's problem, not the handler's.
+			u, err := url.ParseRequestURI("/v1/route?" + query)
+			if err != nil {
+				t.Skip("not a valid request target")
+			}
+			r = httptest.NewRequest(http.MethodGet, "/v1/route", nil)
+			r.URL = u
+		}
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r) // a panic here fails the fuzz run
+		if w.Code >= 500 {
+			t.Fatalf("input (%q, %q) produced %d; malformed input must be a 4xx", query, body, w.Code)
+		}
+		if w.Code >= 400 {
+			var e ErrorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("input (%q, %q): %d without a JSON error payload: %q", query, body, w.Code, w.Body.String())
+			}
+		}
+	})
+}

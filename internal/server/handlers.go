@@ -1,0 +1,365 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/perm"
+	"repro/internal/topology"
+)
+
+// maxRouteBody bounds a POST /v1/route body; anything larger is a client
+// error, not a reason to buffer.
+const maxRouteBody = 1 << 20
+
+// parseKey decodes and validates the (family, l, n) triple shared by every
+// v1 endpoint. Nucleus-only families canonicalize l to 1 so all spellings
+// of one instance share a cache line.
+func (s *Server) parseKey(family, lStr, nStr string) (Key, error) {
+	fam, err := topology.ParseFamily(family)
+	if err != nil {
+		return Key{}, fmt.Errorf("unknown family %q", family)
+	}
+	l, n := 0, 0
+	if lStr != "" {
+		if l, err = strconv.Atoi(lStr); err != nil {
+			return Key{}, fmt.Errorf("bad l %q", lStr)
+		}
+	}
+	if nStr != "" {
+		if n, err = strconv.Atoi(nStr); err != nil {
+			return Key{}, fmt.Errorf("bad n %q", nStr)
+		}
+	}
+	return s.validateKey(fam, l, n)
+}
+
+func (s *Server) validateKey(fam topology.Family, l, n int) (Key, error) {
+	if l < 0 || n < 0 || l > maxRepresentableK || n > maxRepresentableK {
+		return Key{}, fmt.Errorf("parameters out of range: l=%d n=%d (need 0 <= l,n <= %d)", l, n, maxRepresentableK)
+	}
+	key := Key{Family: fam, L: l, N: n}
+	if !fam.IsSuperCayley() {
+		key.L = 1
+	}
+	if k := key.K(); k > s.cfg.MaxK {
+		return Key{}, fmt.Errorf("instance too large: k=%d exceeds the server cap %d", k, s.cfg.MaxK)
+	}
+	return key, nil
+}
+
+// network resolves key through the cache, classifying failures: parameter
+// errors are the client's (400), expired deadlines are overload (504).
+func (s *Server) network(ctx context.Context, key Key) (*topology.Network, int, error) {
+	nw, err := s.cache.Network(ctx, key)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, http.StatusGatewayTimeout, err
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	return nw, http.StatusOK, nil
+}
+
+// parseNode decodes a node label and checks it against the instance's k.
+func parseNode(what, raw string, k int) (perm.Perm, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("missing %s node", what)
+	}
+	p, err := perm.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("bad %s node: %v", what, err)
+	}
+	if len(p) != k {
+		return nil, fmt.Errorf("%s node has %d symbols, instance wants %d", what, len(p), k)
+	}
+	return p, nil
+}
+
+// decodeRouteRequest accepts GET query parameters or a POST JSON body.
+func decodeRouteRequest(w http.ResponseWriter, r *http.Request) (RouteRequest, error) {
+	var req RouteRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Family = q.Get("family")
+		var err error
+		if req.L, err = intParam(q, "l"); err != nil {
+			return req, err
+		}
+		if req.N, err = intParam(q, "n"); err != nil {
+			return req, err
+		}
+		req.Src = q.Get("src")
+		req.Dst = q.Get("dst")
+		return req, nil
+	case http.MethodPost:
+		r.Body = http.MaxBytesReader(w, r.Body, maxRouteBody)
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("bad JSON body: %v", err)
+		}
+		return req, nil
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+func intParam(q url.Values, name string) (int, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) int {
+	req, err := decodeRouteRequest(w, r)
+	if err != nil {
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			return writeErr(w, http.StatusMethodNotAllowed, err.Error())
+		}
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	key, err := s.validateRouteKey(req)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	nw, status, err := s.network(r.Context(), key)
+	if err != nil {
+		return writeErr(w, status, err.Error())
+	}
+	src, err := parseNode("src", req.Src, nw.K())
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	dst, err := parseNode("dst", req.Dst, nw.K())
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	moves, err := nw.Route(src, dst)
+	if err != nil {
+		return writeErr(w, http.StatusInternalServerError, "routing failed: "+err.Error())
+	}
+	if err := nw.VerifyRoute(src, dst, moves); err != nil {
+		return writeErr(w, http.StatusInternalServerError, "route verification failed: "+err.Error())
+	}
+	names := make([]string, len(moves))
+	for i, m := range moves {
+		names[i] = m.Name()
+	}
+	resp := RouteResponse{
+		Network:       nw.Name(),
+		K:             nw.K(),
+		Nodes:         nw.Nodes(),
+		Src:           src.String(),
+		Dst:           dst.String(),
+		Moves:         names,
+		Hops:          len(moves),
+		DiameterBound: nw.DiameterUpperBound(),
+		Verified:      true,
+	}
+	// Opportunistic exact distance: only when a completed profile job left
+	// the distance table resident — a route request never builds one.
+	if prof, ok := s.cache.CachedProfile(key); ok {
+		u := dst.Inverse().Compose(src)
+		if d := prof.Dist[u.Inverse().Rank()]; d >= 0 {
+			exact := int(d)
+			resp.ExactDistance = &exact
+			if exact > 0 {
+				stretch := float64(resp.Hops) / float64(exact)
+				resp.Stretch = &stretch
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK
+}
+
+// validateRouteKey is the RouteRequest front of parseKey.
+func (s *Server) validateRouteKey(req RouteRequest) (Key, error) {
+	fam, err := topology.ParseFamily(req.Family)
+	if err != nil {
+		return Key{}, fmt.Errorf("unknown family %q", req.Family)
+	}
+	return s.validateKey(fam, req.L, req.N)
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeErr(w, http.StatusMethodNotAllowed, "use GET")
+	}
+	q := r.URL.Query()
+	key, err := s.parseKey(q.Get("family"), q.Get("l"), q.Get("n"))
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	nw, status, err := s.network(r.Context(), key)
+	if err != nil {
+		return writeErr(w, status, err.Error())
+	}
+	node, err := parseNode("node", q.Get("node"), nw.K())
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	set := nw.Graph().GeneratorSet()
+	nbs := nw.Graph().Neighbors(node)
+	out := make([]Neighbor, len(nbs))
+	for i, nb := range nbs {
+		out[i] = Neighbor{Move: set.At(i).Name(), Node: nb.String()}
+	}
+	writeJSON(w, http.StatusOK, NeighborsResponse{
+		Network:   nw.Name(),
+		K:         nw.K(),
+		Node:      node.String(),
+		Degree:    nw.Degree(),
+		Neighbors: out,
+	})
+	return http.StatusOK
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeErr(w, http.StatusMethodNotAllowed, "use GET")
+	}
+	q := r.URL.Query()
+	key, err := s.parseKey(q.Get("family"), q.Get("l"), q.Get("n"))
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	nw, status, err := s.network(r.Context(), key)
+	if err != nil {
+		return writeErr(w, status, err.Error())
+	}
+	bound := nw.DiameterUpperBound()
+	resp := MetricsResponse{
+		Network:            nw.Name(),
+		Family:             key.Family.String(),
+		L:                  nw.L(),
+		N:                  nw.N(),
+		K:                  nw.K(),
+		Nodes:              nw.Nodes(),
+		Degree:             nw.Degree(),
+		InterclusterDegree: nw.InterclusterDegree(),
+		Undirected:         nw.Undirected(),
+		DiameterBound:      bound,
+		Cost:               metrics.DegreeDiameterCost(nw.Degree(), bound),
+	}
+	if pb, ok := topology.PaperDiameterBound(key.Family, nw.L(), nw.N()); ok {
+		resp.PaperBound = &pb
+	}
+	resp.DL = universalDL(nw)
+	if resp.DL > 0 {
+		resp.AlphaBound = float64(bound) / resp.DL
+	}
+	if prof, ok := s.cache.CachedProfile(key); ok {
+		d, avg := prof.Eccentricity, prof.Mean
+		resp.ExactDiameter = &d
+		resp.ExactAvgDistance = &avg
+		if resp.DL > 0 {
+			ae := float64(d) / resp.DL
+			resp.AlphaExact = &ae
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK
+}
+
+// universalDL evaluates the applicable Moore-type diameter lower bound:
+// D_L(N,d) for undirected families (degree >= 3), the directed variant for
+// directed ones. Instances too small for the bound report 0.
+func universalDL(nw *topology.Network) float64 {
+	n := float64(nw.Nodes())
+	if nw.Undirected() {
+		if dl, err := metrics.DL(n, nw.Degree()); err == nil {
+			return dl
+		}
+		return 0
+	}
+	if dl, err := metrics.DLDirected(n, nw.Degree()); err == nil {
+		return dl
+	}
+	return 0
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		return writeErr(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+	q := r.URL.Query()
+	if id := q.Get("id"); id != "" {
+		job, err := s.jobs.Get(id)
+		if err != nil {
+			return writeErr(w, http.StatusNotFound, err.Error())
+		}
+		writeJSON(w, http.StatusOK, jobResponse(job, false))
+		return http.StatusOK
+	}
+	key, err := s.parseKey(q.Get("family"), q.Get("l"), q.Get("n"))
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	if k := key.K(); k > core.MaxExplicitK {
+		return writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("exact profile needs k <= %d (%d! states must be enumerable), got k=%d", core.MaxExplicitK, core.MaxExplicitK, k))
+	}
+	job, err := s.jobs.Submit(key)
+	if err != nil {
+		if errors.Is(err, ErrJobsBusy) {
+			return writeErr(w, http.StatusServiceUnavailable, err.Error())
+		}
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	status := http.StatusAccepted
+	cached := false
+	if job.Status == JobDone {
+		status = http.StatusOK
+		cached = true
+	}
+	writeJSON(w, status, jobResponse(job, cached))
+	return status
+}
+
+// jobResponse renders a job snapshot on the wire.
+func jobResponse(job Job, cached bool) ProfileResponse {
+	resp := ProfileResponse{
+		JobID:   job.ID,
+		Network: job.Key.String(),
+		Status:  string(job.Status),
+		Cached:  cached,
+		Error:   job.Err,
+	}
+	if job.Result != nil {
+		resp.Result = &ProfileResult{
+			Diameter:    job.Result.Eccentricity,
+			AvgDistance: job.Result.Mean,
+			Nodes:       job.Result.Reachable,
+			Histogram:   append([]int64(nil), job.Result.Histogram...),
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+	return http.StatusOK
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) int {
+	writeJSON(w, http.StatusOK, s.Stats())
+	return http.StatusOK
+}

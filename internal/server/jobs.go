@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+)
+
+// JobStatus is the lifecycle state of an exact-profile job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// ErrJobsBusy is returned by Submit when the worker queue is full; the
+// handler maps it to 503 so clients back off instead of piling up k!-state
+// searches.
+var ErrJobsBusy = errors.New("server: job queue full")
+
+// ErrUnknownJob is returned by Get for an ID that was never issued (or has
+// been pruned).
+var ErrUnknownJob = errors.New("server: unknown job id")
+
+// Job is one asynchronous exact-profile computation. The struct returned by
+// Submit and Get is a copy; the Result pointer, once set, is immutable.
+type Job struct {
+	ID     string
+	Key    Key
+	Status JobStatus
+	Err    string
+	Result *core.BFSResult
+}
+
+// maxFinishedJobs bounds the completed-job ledger: polls for jobs older
+// than the last maxFinishedJobs completions answer ErrUnknownJob. In-flight
+// jobs are never pruned.
+const maxFinishedJobs = 1024
+
+// Jobs runs exact-profile computations asynchronously on a bounded
+// pool.Runner — the sanctioned spawn chokepoint, so this package contains
+// no raw go statements. Submitting a key whose job is still queued or
+// running coalesces onto the existing job; submitting a key whose profile
+// is already cached completes immediately without occupying a worker.
+type Jobs struct {
+	cache  *Cache
+	runner *pool.Runner
+
+	mu       sync.Mutex
+	byID     map[string]*Job
+	byKey    map[Key]*Job // queued/running job per key, for coalescing
+	finished []string     // completion order, for pruning
+	nextID   int64
+	stats    JobsStats
+}
+
+// NewJobs returns a job manager executing on runner. The caller retains
+// ownership of runner's lifecycle only through Close.
+func NewJobs(cache *Cache, runner *pool.Runner) *Jobs {
+	return &Jobs{
+		cache:  cache,
+		runner: runner,
+		byID:   make(map[string]*Job),
+		byKey:  make(map[Key]*Job),
+	}
+}
+
+// Submit registers an exact-profile job for key and returns its snapshot.
+// Cached profiles complete synchronously; duplicate submits coalesce onto
+// the in-flight job; a full worker queue returns ErrJobsBusy.
+func (j *Jobs) Submit(key Key) (Job, error) {
+	j.mu.Lock()
+	if job, ok := j.byKey[key]; ok {
+		j.stats.Coalesced++
+		snap := *job
+		j.mu.Unlock()
+		return snap, nil
+	}
+	if res, ok := j.cache.CachedProfile(key); ok {
+		job := j.newJobLocked(key)
+		job.Status = JobDone
+		job.Result = res
+		j.stats.Submitted++
+		j.stats.Completed++
+		j.finishLocked(job)
+		snap := *job
+		j.mu.Unlock()
+		return snap, nil
+	}
+	job := j.newJobLocked(key)
+	job.Status = JobQueued
+	id := job.ID
+	// Admit before publishing: runner.Submit never blocks (bounded queue,
+	// non-blocking send), so holding j.mu here keeps a rejected job from
+	// ever being observable by Get or a coalescing Submit.
+	if !j.runner.Submit(func() { j.run(id) }) {
+		delete(j.byID, id)
+		j.stats.Rejected++
+		j.mu.Unlock()
+		return Job{}, ErrJobsBusy
+	}
+	j.byKey[key] = job
+	j.stats.Submitted++
+	snap := *job
+	j.mu.Unlock()
+	return snap, nil
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (j *Jobs) Get(id string) (Job, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	job, ok := j.byID[id]
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	return *job, nil
+}
+
+// Stats returns a snapshot of the job counters plus queued/running gauges.
+func (j *Jobs) Stats() JobsStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.stats
+	for _, job := range j.byKey {
+		switch job.Status {
+		case JobQueued:
+			s.Queued++
+		case JobRunning:
+			s.Running++
+		}
+	}
+	return s
+}
+
+// Close drains the job queue: it blocks until every admitted job has
+// finished, and no further submits are accepted by the runner.
+func (j *Jobs) Close() { j.runner.Close() }
+
+// run executes one job on a runner worker.
+func (j *Jobs) run(id string) {
+	j.mu.Lock()
+	job, ok := j.byID[id]
+	if !ok {
+		j.mu.Unlock()
+		return
+	}
+	job.Status = JobRunning
+	key := job.Key
+	j.mu.Unlock()
+
+	res, err := j.cache.Profile(context.Background(), key)
+
+	j.mu.Lock()
+	if err != nil {
+		job.Status = JobFailed
+		job.Err = err.Error()
+		j.stats.Failed++
+	} else {
+		job.Status = JobDone
+		job.Result = res
+		j.stats.Completed++
+	}
+	if j.byKey[key] == job {
+		delete(j.byKey, key)
+	}
+	j.finishLocked(job)
+	j.mu.Unlock()
+}
+
+// newJobLocked allocates and registers the next job. Callers hold j.mu.
+func (j *Jobs) newJobLocked(key Key) *Job {
+	j.nextID++
+	job := &Job{ID: fmt.Sprintf("job-%d", j.nextID), Key: key}
+	j.byID[job.ID] = job
+	return job
+}
+
+// finishLocked records a completed job and prunes the ledger. Callers hold
+// j.mu.
+func (j *Jobs) finishLocked(job *Job) {
+	j.finished = append(j.finished, job.ID)
+	for len(j.finished) > maxFinishedJobs {
+		delete(j.byID, j.finished[0])
+		j.finished = j.finished[1:]
+	}
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/topology"
+)
+
+// waitDone polls until the job leaves queued/running or the deadline passes.
+func waitDone(t *testing.T, j *Jobs, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		job, err := j.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if job.Status == JobDone || job.Status == JobFailed {
+			return job
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return Job{}
+}
+
+func TestJobCompletesAndMatchesDirectBFS(t *testing.T) {
+	c := NewCache(64 << 20)
+	j := NewJobs(c, pool.NewRunner(1, 4))
+	defer j.Close()
+
+	key := msKey(2, 1) // k=3
+	job, err := j.Submit(key)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := waitDone(t, j, job.ID)
+	if done.Status != JobDone || done.Result == nil {
+		t.Fatalf("job ended %q (err=%q), want done with a result", done.Status, done.Err)
+	}
+	nw, err := topology.New(key.Family, key.L, key.N)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	want, err := nw.Graph().ExactProfile()
+	if err != nil {
+		t.Fatalf("ExactProfile: %v", err)
+	}
+	if done.Result.Eccentricity != want.Eccentricity {
+		t.Fatalf("job diameter %d, direct BFS %d", done.Result.Eccentricity, want.Eccentricity)
+	}
+	st := j.Stats()
+	if st.Submitted != 1 || st.Completed != 1 || st.Failed != 0 {
+		t.Fatalf("stats %+v, want one clean completion", st)
+	}
+}
+
+func TestJobSubmitCoalescesInFlightKey(t *testing.T) {
+	c := NewCache(64 << 20)
+	runner := pool.NewRunner(1, 4)
+	j := NewJobs(c, runner)
+	defer j.Close()
+
+	// Park the single worker so the submitted job stays queued.
+	release := make(chan struct{})
+	if !runner.Submit(func() { <-release }) {
+		t.Fatal("blocker rejected")
+	}
+	key := msKey(2, 1)
+	first, err := j.Submit(key)
+	if err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	second, err := j.Submit(key)
+	if err != nil {
+		t.Fatalf("second Submit: %v", err)
+	}
+	if first.ID != second.ID {
+		t.Fatalf("duplicate submit got job %s, want coalescing onto %s", second.ID, first.ID)
+	}
+	if st := j.Stats(); st.Coalesced != 1 || st.Submitted != 1 {
+		t.Fatalf("stats %+v, want Submitted=1 Coalesced=1", st)
+	}
+	close(release)
+	if done := waitDone(t, j, first.ID); done.Status != JobDone {
+		t.Fatalf("job ended %q (err=%q)", done.Status, done.Err)
+	}
+	// The key is released: a fresh submit now completes from cache.
+	third, err := j.Submit(key)
+	if err != nil {
+		t.Fatalf("post-completion Submit: %v", err)
+	}
+	if third.ID == first.ID || third.Status != JobDone {
+		t.Fatalf("post-completion submit = (%s, %s), want a new immediately-done job", third.ID, third.Status)
+	}
+}
+
+func TestJobSubmitFullQueueRejects(t *testing.T) {
+	c := NewCache(64 << 20)
+	runner := pool.NewRunner(1, 1)
+	j := NewJobs(c, runner)
+	defer j.Close()
+
+	// Saturate the runner directly: one blocker for the worker, then fillers
+	// until the queue itself rejects.
+	release := make(chan struct{})
+	if !runner.Submit(func() { <-release }) {
+		t.Fatal("blocker rejected")
+	}
+	for runner.Submit(func() { <-release }) {
+	}
+	if _, err := j.Submit(msKey(2, 1)); !errors.Is(err, ErrJobsBusy) {
+		t.Fatalf("Submit on a full queue = %v, want ErrJobsBusy", err)
+	}
+	st := j.Stats()
+	if st.Rejected != 1 {
+		t.Fatalf("Rejected=%d, want 1", st.Rejected)
+	}
+	// The rolled-back job must not be observable.
+	if _, err := j.Get("job-1"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Get on a rolled-back job = %v, want ErrUnknownJob", err)
+	}
+	close(release)
+}
+
+func TestJobCachedProfileCompletesSynchronously(t *testing.T) {
+	c := NewCache(64 << 20)
+	j := NewJobs(c, pool.NewRunner(1, 4))
+	defer j.Close()
+
+	key := msKey(2, 1)
+	if _, err := c.Profile(context.Background(), key); err != nil {
+		t.Fatalf("warm Profile: %v", err)
+	}
+	job, err := j.Submit(key)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if job.Status != JobDone || job.Result == nil {
+		t.Fatalf("submit with a warm cache = %q, want an immediately-done job", job.Status)
+	}
+}
+
+func TestJobGetUnknownID(t *testing.T) {
+	j := NewJobs(NewCache(1<<20), pool.NewRunner(1, 1))
+	defer j.Close()
+	if _, err := j.Get("job-404"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Get = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestJobCloseDrainsAdmittedWork(t *testing.T) {
+	c := NewCache(64 << 20)
+	j := NewJobs(c, pool.NewRunner(1, 4))
+	job, err := j.Submit(msKey(2, 1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	j.Close() // must block until the admitted job ran
+	got, err := j.Get(job.ID)
+	if err != nil {
+		t.Fatalf("Get after Close: %v", err)
+	}
+	if got.Status != JobDone {
+		t.Fatalf("after Close job is %q, want done: Close must drain admitted work", got.Status)
+	}
+}

@@ -1,0 +1,269 @@
+// Package server is scgd's engine: a stdlib-only concurrent topology-query
+// service over the paper's network families. Solving the ball-arrangement
+// game *is* routing in a super Cayley network (§2–§3), so the service
+// answers the query workload a fabric controller issues — route lookup,
+// neighbor enumeration, degree/diameter/cost metrics, exact distance
+// profiles — from long-lived state instead of one-shot CLI runs.
+//
+// Three layers sit under the six HTTP endpoints:
+//
+//   - Cache: a byte-budgeted LRU of materialized topologies and exact BFS
+//     distance tables keyed by (family, l, n), with singleflight request
+//     coalescing — N concurrent cold requests trigger exactly one build.
+//   - Admission control: per-endpoint concurrency gates (pool.Gate) that
+//     shed load with 503 instead of queueing, plus per-request context
+//     deadlines.
+//   - Async jobs: k!-state exact profiles run on a bounded pool.Runner;
+//     submit returns a job ID, polls return status/result. The package
+//     contains no raw go statements — all concurrency routes through
+//     internal/pool and the sanctioned http.Server.Serve idiom, which is
+//     what scglint's boundedspawn policy enforces here.
+//
+// Every endpoint is instrumented with internal/obs latency histograms
+// (p50/p95/p99 at /statsz) and optional NDJSON access records.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pool"
+)
+
+// Config tunes one Server. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// CacheBytes budgets the topology/profile LRU (default 256 MiB).
+	CacheBytes int64
+	// MaxInflight caps concurrent requests per gated endpoint; excess
+	// requests are shed with 503 (default 64).
+	MaxInflight int
+	// ProfileWorkers and ProfileQueue size the async exact-profile runner
+	// (defaults: GOMAXPROCS workers, 16 queued jobs).
+	ProfileWorkers int
+	ProfileQueue   int
+	// RequestTimeout bounds each request's context (default 10s).
+	RequestTimeout time.Duration
+	// MaxK caps the label length a request may materialize; k! must fit in
+	// int64, so the hard ceiling (and default) is 20.
+	MaxK int
+	// AccessLog, when non-nil, receives one NDJSON AccessRecord per request.
+	AccessLog io.Writer
+}
+
+// maxRepresentableK is the largest k with k! representable in int64.
+const maxRepresentableK = 20
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.ProfileWorkers <= 0 {
+		c.ProfileWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.ProfileQueue <= 0 {
+		c.ProfileQueue = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxK <= 0 || c.MaxK > maxRepresentableK {
+		c.MaxK = maxRepresentableK
+	}
+	return c
+}
+
+// endpoint is the per-route instrumentation: an admission gate (nil for the
+// always-on health/stats routes) and a latency histogram in microseconds.
+type endpoint struct {
+	name string
+	gate *pool.Gate
+
+	mu       sync.Mutex
+	requests int64
+	errors   int64
+	rejected int64
+	lat      *obs.Histogram
+}
+
+func (e *endpoint) observe(status int, d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.requests++
+	if status >= 400 {
+		e.errors++
+	}
+	e.lat.Observe(d.Microseconds())
+}
+
+func (e *endpoint) reject() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.requests++
+	e.errors++
+	e.rejected++
+}
+
+func (e *endpoint) snapshot() EndpointStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EndpointStats{
+		Requests: e.requests,
+		Errors:   e.errors,
+		Rejected: e.rejected,
+		Latency:  e.lat.Summary(),
+	}
+}
+
+// Server wires the cache, the job manager, admission control, and the
+// handlers into one http.Handler.
+type Server struct {
+	cfg    Config
+	cache  *Cache
+	jobs   *Jobs
+	access *accessLog
+	start  time.Time
+	mux    *http.ServeMux
+	eps    map[string]*endpoint
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  NewCache(cfg.CacheBytes),
+		access: newAccessLog(cfg.AccessLog),
+		start:  time.Now(),
+		mux:    http.NewServeMux(),
+		eps:    make(map[string]*endpoint),
+	}
+	s.jobs = NewJobs(s.cache, pool.NewRunner(cfg.ProfileWorkers, cfg.ProfileQueue))
+
+	s.route("/v1/route", true, s.handleRoute)
+	s.route("/v1/neighbors", true, s.handleNeighbors)
+	s.route("/v1/metrics", true, s.handleMetrics)
+	s.route("/v1/profile", true, s.handleProfile)
+	s.route("/healthz", false, s.handleHealthz)
+	s.route("/statsz", false, s.handleStatsz)
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the cache for stats and tests.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Jobs exposes the job manager for stats and tests.
+func (s *Server) Jobs() *Jobs { return s.jobs }
+
+// Close drains the async job queue: it blocks until every admitted
+// exact-profile job has finished. In-flight HTTP requests are drained by
+// http.Server.Shutdown (see Run); Close handles the work that outlives its
+// submitting request.
+func (s *Server) Close() { s.jobs.Close() }
+
+// Stats assembles the /statsz document.
+func (s *Server) Stats() StatsResponse {
+	eps := make(map[string]EndpointStats, len(s.eps))
+	names := make([]string, 0, len(s.eps))
+	for name := range s.eps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		eps[name] = s.eps[name].snapshot()
+	}
+	return StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Endpoints:     eps,
+		Cache:         s.cache.Stats(),
+		Jobs:          s.jobs.Stats(),
+	}
+}
+
+// route registers a handler with the shared middleware: admission gate
+// (when gated), request deadline, latency histogram, and access record.
+func (s *Server) route(name string, gated bool, fn func(w http.ResponseWriter, r *http.Request) int) {
+	ep := &endpoint{name: name, lat: obs.NewHistogram()}
+	if gated {
+		ep.gate = pool.NewGate(s.cfg.MaxInflight)
+	}
+	s.eps[name] = ep
+	s.mux.HandleFunc(name, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if ep.gate != nil && !ep.gate.TryEnter() {
+			ep.reject()
+			writeJSON(w, http.StatusServiceUnavailable,
+				ErrorResponse{Error: "server busy: too many in-flight " + name + " requests"})
+			s.access.log(r, name, http.StatusServiceUnavailable, start, time.Since(start))
+			return
+		}
+		if ep.gate != nil {
+			defer ep.gate.Leave()
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		status := fn(w, r.WithContext(ctx))
+		d := time.Since(start)
+		ep.observe(status, d)
+		s.access.log(r, name, status, start, d)
+	})
+}
+
+// Run serves s on ln until ctx is canceled, then shuts down gracefully:
+// http.Server.Shutdown drains in-flight requests (bounded by drain), and
+// Close drains the async job queue. It returns nil on a clean shutdown.
+func Run(ctx context.Context, ln net.Listener, s *Server, drain time.Duration) error {
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		// The listener failed before shutdown was requested.
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	s.Close()
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// writeJSON writes v with the given status. Encoding failures are
+// swallowed: by the time Encode runs the status line is committed, and
+// every payload type here marshals by construction.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr writes a JSON error payload and returns the status for the
+// middleware's bookkeeping.
+func writeErr(w http.ResponseWriter, status int, msg string) int {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+	return status
+}

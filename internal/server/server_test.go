@@ -1,0 +1,369 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/topology"
+)
+
+func newTestServer() *Server {
+	return New(Config{
+		CacheBytes:     64 << 20,
+		MaxInflight:    64,
+		ProfileWorkers: 1,
+		ProfileQueue:   4,
+		RequestTimeout: 30 * time.Second,
+	})
+}
+
+// do issues one request against the in-process handler and decodes the JSON
+// body into out (when non-nil).
+func do(t *testing.T, s *Server, method, target, body string, out any) int {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, target, nil)
+	} else {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if out != nil {
+		if err := json.NewDecoder(w.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: bad JSON body: %v", method, target, err)
+		}
+	}
+	return w.Code
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer()
+	defer s.Close()
+	var h HealthResponse
+	if code := do(t, s, http.MethodGet, "/healthz", "", &h); code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q", h.Status)
+	}
+}
+
+func TestRouteGetAndPostAgree(t *testing.T) {
+	s := newTestServer()
+	defer s.Close()
+	const src, dst = "2314567", "7654321"
+	var viaGet RouteResponse
+	code := do(t, s, http.MethodGet, "/v1/route?family=MS&l=2&n=3&src="+src+"&dst="+dst, "", &viaGet)
+	if code != http.StatusOK {
+		t.Fatalf("GET route = %d", code)
+	}
+	var viaPost RouteResponse
+	body := fmt.Sprintf(`{"family":"MS","l":2,"n":3,"src":%q,"dst":%q}`, src, dst)
+	if code := do(t, s, http.MethodPost, "/v1/route", body, &viaPost); code != http.StatusOK {
+		t.Fatalf("POST route = %d", code)
+	}
+	if !viaGet.Verified || !viaPost.Verified {
+		t.Fatal("route not verified")
+	}
+	if viaGet.Hops != viaPost.Hops || viaGet.Hops == 0 {
+		t.Fatalf("GET hops %d, POST hops %d", viaGet.Hops, viaPost.Hops)
+	}
+	if viaGet.Hops > viaGet.DiameterBound {
+		t.Fatalf("hops %d exceed the diameter bound %d", viaGet.Hops, viaGet.DiameterBound)
+	}
+	if viaGet.Network != "MS(2,3)" || viaGet.K != 7 {
+		t.Fatalf("network %q k=%d", viaGet.Network, viaGet.K)
+	}
+}
+
+func TestRouteIdentityPair(t *testing.T) {
+	s := newTestServer()
+	defer s.Close()
+	var resp RouteResponse
+	code := do(t, s, http.MethodGet, "/v1/route?family=MS&l=2&n=3&src=1234567&dst=1234567", "", &resp)
+	if code != http.StatusOK || resp.Hops != 0 {
+		t.Fatalf("src==dst: code=%d hops=%d, want 200 with an empty route", code, resp.Hops)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	s := newTestServer()
+	defer s.Close()
+	var resp NeighborsResponse
+	code := do(t, s, http.MethodGet, "/v1/neighbors?family=MS&l=2&n=3&node=1234567", "", &resp)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/neighbors = %d", code)
+	}
+	if len(resp.Neighbors) != resp.Degree {
+		t.Fatalf("%d neighbors, degree %d", len(resp.Neighbors), resp.Degree)
+	}
+	for _, nb := range resp.Neighbors {
+		if nb.Move == "" || len(nb.Node) == 0 {
+			t.Fatalf("empty neighbor entry %+v", nb)
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	s := newTestServer()
+	defer s.Close()
+	var resp MetricsResponse
+	code := do(t, s, http.MethodGet, "/v1/metrics?family=MS&l=2&n=3", "", &resp)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/metrics = %d", code)
+	}
+	nw, err := topology.New(topology.MS, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Nodes != nw.Nodes() || resp.Degree != nw.Degree() || resp.DiameterBound != nw.DiameterUpperBound() {
+		t.Fatalf("metrics %+v disagree with the topology layer", resp)
+	}
+	if resp.ExactDiameter != nil {
+		t.Fatal("exact diameter reported before any profile job ran")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := newTestServer()
+	defer s.Close()
+	cases := []struct {
+		name, method, target, body string
+		want                       int
+	}{
+		{"unknown family", http.MethodGet, "/v1/route?family=nope&l=2&n=3&src=123&dst=321", "", 400},
+		{"bad l", http.MethodGet, "/v1/route?family=MS&l=x&n=3&src=123&dst=321", "", 400},
+		{"negative n", http.MethodGet, "/v1/route?family=MS&l=2&n=-1&src=123&dst=321", "", 400},
+		{"missing src", http.MethodGet, "/v1/route?family=MS&l=2&n=3&dst=7654321", "", 400},
+		{"wrong-length src", http.MethodGet, "/v1/route?family=MS&l=2&n=3&src=123&dst=7654321", "", 400},
+		{"src not a permutation", http.MethodGet, "/v1/route?family=MS&l=2&n=3&src=1134567&dst=7654321", "", 400},
+		{"k above cap", http.MethodGet, "/v1/route?family=MS&l=20&n=20&src=123&dst=321", "", 400},
+		{"route bad JSON", http.MethodPost, "/v1/route", "{not json", 400},
+		{"route bad method", http.MethodDelete, "/v1/route", "", 405},
+		{"neighbors bad method", http.MethodPost, "/v1/neighbors", "", 405},
+		{"neighbors missing node", http.MethodGet, "/v1/neighbors?family=MS&l=2&n=3", "", 400},
+		{"metrics bad method", http.MethodPost, "/v1/metrics", "", 405},
+		{"metrics unknown family", http.MethodGet, "/v1/metrics?family=zzz", "", 400},
+		{"profile unknown id", http.MethodGet, "/v1/profile?id=job-404", "", 404},
+		{"profile k too large", http.MethodGet, "/v1/profile?family=MS&l=4&n=4", "", 400},
+		{"profile bad method", http.MethodDelete, "/v1/profile", "", 405},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e ErrorResponse
+			code := do(t, s, tc.method, tc.target, tc.body, &e)
+			if code != tc.want {
+				t.Fatalf("%s %s = %d, want %d", tc.method, tc.target, code, tc.want)
+			}
+			if e.Error == "" {
+				t.Fatal("error responses must carry a message")
+			}
+		})
+	}
+}
+
+func TestProfileJobFlow(t *testing.T) {
+	s := newTestServer()
+	defer s.Close()
+	var submitted ProfileResponse
+	code := do(t, s, http.MethodGet, "/v1/profile?family=MS&l=2&n=1", "", &submitted)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("profile submit = %d", code)
+	}
+	if submitted.JobID == "" {
+		t.Fatal("no job id")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var polled ProfileResponse
+	for {
+		if code := do(t, s, http.MethodGet, "/v1/profile?id="+url.QueryEscape(submitted.JobID), "", &polled); code != http.StatusOK {
+			t.Fatalf("poll = %d", code)
+		}
+		if polled.Status == string(JobDone) || polled.Status == string(JobFailed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", polled.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if polled.Status != string(JobDone) || polled.Result == nil {
+		t.Fatalf("job ended %q (err=%q)", polled.Status, polled.Error)
+	}
+	if polled.Result.Diameter <= 0 || polled.Result.Nodes <= 0 {
+		t.Fatalf("degenerate profile %+v", polled.Result)
+	}
+
+	// Resubmitting the same instance now completes synchronously from cache.
+	var again ProfileResponse
+	if code := do(t, s, http.MethodGet, "/v1/profile?family=MS&l=2&n=1", "", &again); code != http.StatusOK {
+		t.Fatalf("warm resubmit = %d", code)
+	}
+	if !again.Cached || again.Status != string(JobDone) {
+		t.Fatalf("warm resubmit = %+v, want an immediately-done cached job", again)
+	}
+
+	// The resident table upgrades /v1/route and /v1/metrics responses.
+	var rt RouteResponse
+	if code := do(t, s, http.MethodGet, "/v1/route?family=MS&l=2&n=1&src=321&dst=123", "", &rt); code != http.StatusOK {
+		t.Fatalf("route = %d", code)
+	}
+	if rt.ExactDistance == nil {
+		t.Fatal("route did not pick up the resident exact-distance table")
+	}
+	if rt.Hops < *rt.ExactDistance {
+		t.Fatalf("solver route (%d hops) beats the exact distance %d", rt.Hops, *rt.ExactDistance)
+	}
+	var m MetricsResponse
+	if code := do(t, s, http.MethodGet, "/v1/metrics?family=MS&l=2&n=1", "", &m); code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	if m.ExactDiameter == nil || *m.ExactDiameter != polled.Result.Diameter {
+		t.Fatalf("metrics exact diameter %v, want %d", m.ExactDiameter, polled.Result.Diameter)
+	}
+}
+
+// TestRouteHTTPCoalescing drives the acceptance criterion end to end: 64
+// concurrent cold HTTP requests materialize the topology exactly once.
+func TestRouteHTTPCoalescing(t *testing.T) {
+	s := newTestServer()
+	defer s.Close()
+	const callers = 64
+	codes := make([]int, callers)
+	pool.Each(callers, callers, func(i int) {
+		r := httptest.NewRequest(http.MethodGet, "/v1/route?family=RS&l=2&n=3&src=2314567&dst=7654321", nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		codes[i] = w.Code
+	})
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("caller %d got %d", i, code)
+		}
+	}
+	st := s.Cache().Stats()
+	if st.Builds != 1 {
+		t.Fatalf("Builds=%d for one cold key under 64 concurrent requests, want 1", st.Builds)
+	}
+	if st.Hits+st.Coalesced != callers-1 {
+		t.Fatalf("Hits=%d Coalesced=%d, want them to sum to %d", st.Hits, st.Coalesced, callers-1)
+	}
+}
+
+func TestGateShedsExcessLoad(t *testing.T) {
+	s := New(Config{MaxInflight: 1, RequestTimeout: 5 * time.Second})
+	defer s.Close()
+	// Occupy the single route slot directly, then watch a request bounce.
+	gate := s.eps["/v1/route"].gate
+	if !gate.TryEnter() {
+		t.Fatal("fresh gate refused entry")
+	}
+	var e ErrorResponse
+	if code := do(t, s, http.MethodGet, "/v1/route?family=MS&l=2&n=3&src=1234567&dst=7654321", "", &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated endpoint = %d, want 503", code)
+	}
+	gate.Leave()
+	if code := do(t, s, http.MethodGet, "/v1/route?family=MS&l=2&n=3&src=1234567&dst=7654321", "", nil); code != http.StatusOK {
+		t.Fatalf("after release = %d, want 200", code)
+	}
+	st := s.Stats()
+	ep := st.Endpoints["/v1/route"]
+	if ep.Rejected != 1 {
+		t.Fatalf("rejected=%d, want 1", ep.Rejected)
+	}
+}
+
+func TestStatszCountsTraffic(t *testing.T) {
+	s := newTestServer()
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		do(t, s, http.MethodGet, "/v1/metrics?family=MS&l=2&n=3", "", nil)
+	}
+	do(t, s, http.MethodGet, "/v1/metrics?family=nope", "", nil)
+	var st StatsResponse
+	if code := do(t, s, http.MethodGet, "/statsz", "", &st); code != http.StatusOK {
+		t.Fatalf("/statsz = %d", code)
+	}
+	ep, ok := st.Endpoints["/v1/metrics"]
+	if !ok {
+		t.Fatalf("statsz lacks /v1/metrics: %+v", st.Endpoints)
+	}
+	if ep.Requests != 4 || ep.Errors != 1 {
+		t.Fatalf("requests=%d errors=%d, want 4 and 1", ep.Requests, ep.Errors)
+	}
+	if ep.Latency.Count != 4 {
+		t.Fatalf("latency count %d, want 4", ep.Latency.Count)
+	}
+	if st.Cache.Builds != 1 {
+		t.Fatalf("cache builds %d, want 1 (one instance, repeated hits)", st.Cache.Builds)
+	}
+}
+
+func TestAccessLogRecords(t *testing.T) {
+	var buf strings.Builder
+	s := New(Config{AccessLog: &buf, RequestTimeout: 5 * time.Second})
+	defer s.Close()
+	do(t, s, http.MethodGet, "/healthz", "", nil)
+	do(t, s, http.MethodGet, "/v1/metrics?family=MS&l=2&n=3", "", nil)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d access records, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec AccessRecord
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("bad NDJSON record: %v", err)
+	}
+	if rec.Endpoint != "/v1/metrics" || rec.Status != http.StatusOK || rec.Method != http.MethodGet {
+		t.Fatalf("record %+v", rec)
+	}
+}
+
+// TestRunGracefulShutdown exercises the full daemon lifecycle: serve over a
+// real listener, then cancel the context and require a clean drain.
+func TestRunGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := newTestServer()
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- Run(ctx, ln, s, 10*time.Second) }()
+
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Get(base + "/v1/route?family=MS&l=2&n=3&src=2314567&dst=7654321")
+	if err != nil {
+		t.Fatalf("live request: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live request = %d", resp.StatusCode)
+	}
+	// Leave an async job in flight across the shutdown boundary.
+	resp, err = http.Get(base + "/v1/profile?family=MS&l=2&n=1")
+	if err == nil {
+		_ = resp.Body.Close()
+	}
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run returned %v, want a clean drain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}

@@ -476,3 +476,22 @@ func New(fam Family, l, n int) (*Network, error) {
 func AllSuperCayleyFamilies() []Family {
 	return []Family{MS, RS, CompleteRS, MR, RR, CompleteRR, MIS, RIS, CompleteRIS}
 }
+
+// AllFamilies lists every family constructible by New: the permutation-graph
+// baselines first, then the super Cayley classes in paper order.
+func AllFamilies() []Family {
+	return append([]Family{Star, Rotator, Pancake, BubbleSort, TranspositionNet, IS},
+		AllSuperCayleyFamilies()...)
+}
+
+// ParseFamily resolves a family from its String() name (e.g. "MS",
+// "complete-RIS", "bubble-sort") — the inverse of Family.String, shared by
+// the CLI flag parsers and the scgd request decoder.
+func ParseFamily(name string) (Family, error) {
+	for _, f := range AllFamilies() {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: ParseFamily: unknown family %q", name)
+}

@@ -320,3 +320,26 @@ func TestFamilyStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFamilyRoundTrip(t *testing.T) {
+	fams := AllFamilies()
+	if len(fams) != 15 {
+		t.Fatalf("AllFamilies lists %d families, want 15", len(fams))
+	}
+	for _, f := range fams {
+		got, err := ParseFamily(f.String())
+		if err != nil {
+			t.Errorf("ParseFamily(%q): %v", f.String(), err)
+			continue
+		}
+		if got != f {
+			t.Errorf("ParseFamily(%q) = %v, want %v", f.String(), got, f)
+		}
+	}
+	if _, err := ParseFamily("nope"); err == nil {
+		t.Error("ParseFamily accepts an unknown name")
+	}
+	if _, err := ParseFamily(""); err == nil {
+		t.Error("ParseFamily accepts an empty name")
+	}
+}

@@ -1,0 +1,53 @@
+// Package version renders one-line build provenance for the cmd binaries:
+// module path and version, the VCS revision and commit time stamped by the
+// Go toolchain, and the toolchain itself. Every binary exposes it behind a
+// -version flag so a deployed fleet can be audited back to a commit.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns the version line for the named binary, e.g.
+//
+//	scgd repro (devel) rev 1a2b3c4d+dirty 2026-08-06T12:00:00Z go1.24.0
+//
+// Fields missing from the build info (unstamped builds, go test binaries)
+// are omitted.
+func String(binary string) string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return fmt.Sprintf("%s (no build info) %s", binary, runtime.Version())
+	}
+	parts := []string{binary, info.Main.Path}
+	if v := info.Main.Version; v != "" {
+		parts = append(parts, v)
+	}
+	rev, dirty, when := "", "", ""
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		case "vcs.time":
+			when = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		parts = append(parts, "rev "+rev+dirty)
+	}
+	if when != "" {
+		parts = append(parts, when)
+	}
+	parts = append(parts, runtime.Version())
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,26 @@
+package version
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringCarriesBinaryModuleAndToolchain(t *testing.T) {
+	s := String("netprops")
+	if !strings.HasPrefix(s, "netprops ") {
+		t.Fatalf("String = %q, want leading binary name", s)
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Fatalf("String = %q, want Go toolchain %q", s, runtime.Version())
+	}
+	if strings.Contains(s, "\n") {
+		t.Fatalf("String = %q, want a single line", s)
+	}
+}
+
+func TestStringDistinctBinaries(t *testing.T) {
+	if String("a") == String("b") {
+		t.Fatal("String ignores the binary name")
+	}
+}
