@@ -1,8 +1,10 @@
 // Command benchreport runs the repository's headline performance
 // measurements — serial vs parallel BFS at k = 8/9/10, the three rank
-// kernels, and stretch sampling — and emits them as JSON so each PR can be
-// compared against the committed BENCH_baseline.json and the perf
-// trajectory of the exact-measurement engine stays visible.
+// kernels, stretch sampling, and the scgd telemetry zero-overhead guard
+// (traced vs untraced /v1/route must differ by zero allocations per
+// request) — and emits them as JSON so each PR can be compared against the
+// committed BENCH_baseline.json and the perf trajectory of the
+// exact-measurement engine stays visible.
 //
 // Entries are emitted in a fixed order (no map iteration feeds the file),
 // so two runs on the same machine differ only in the timing fields.
@@ -17,11 +19,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/perm"
+	"repro/internal/server"
 	"repro/internal/topology"
 	"repro/internal/version"
 )
@@ -49,6 +55,9 @@ type Entry struct {
 	Rounds int `json:"rounds"`
 	// NsPerOp is the mean wall time per operation in nanoseconds.
 	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the mean heap allocations per operation; present only
+	// for entries that measure allocation behavior (telemetry guard).
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// Detail carries a human-oriented annotation (diameter found, pairs
 	// sampled, ...).
 	Detail string `json:"detail,omitempty"`
@@ -101,6 +110,11 @@ func main() {
 		rep.Entries = append(rep.Entries, bfsPair(k, *rounds, *workers)...)
 	}
 	rep.Entries = append(rep.Entries, stretchEntry(stretchPairs))
+	routeIters := 4000
+	if *quick {
+		routeIters = 1000
+	}
+	rep.Entries = append(rep.Entries, telemetryGuard(routeIters)...)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	fail(err)
@@ -201,6 +215,74 @@ func stretchEntry(pairs int) Entry {
 		Rounds:  pairs,
 		NsPerOp: nsPerOp(elapsed, pairs),
 		Detail:  fmt.Sprintf("%d pairs, mean stretch %.3f, %d optimal", st.Pairs, st.MeanStretch, st.Optimal),
+	}
+}
+
+// telemetryGuard is the zero-overhead assertion for scgd's request tracing:
+// it drives identical warm-cache /v1/route traffic through two in-process
+// servers — tracing enabled and disabled — and fails the whole report if
+// the allocations-per-request delta is nonzero. Pooled traces and always-on
+// atomic counters are the design invariant this pins; a regression (say, a
+// span slice escaping the pool) shows up as a broken build, not a slow
+// fleet.
+func telemetryGuard(iters int) []Entry {
+	on := measureRoute(iters, false)
+	off := measureRoute(iters, true)
+	delta := on.AllocsPerOp - off.AllocsPerOp
+	if math.Abs(delta) >= 1 {
+		fail(fmt.Errorf("benchreport: telemetry is not allocation-free: %.2f allocs/op traced vs %.2f untraced (delta %.2f)",
+			on.AllocsPerOp, off.AllocsPerOp, delta))
+	}
+	guard := Entry{
+		Name:        "telemetry/route-alloc-delta",
+		Rounds:      iters,
+		AllocsPerOp: delta,
+		Detail:      "asserted |delta| < 1 alloc/op between traced and untraced /v1/route",
+	}
+	return []Entry{on, off, guard}
+}
+
+// measureRoute times warm /v1/route requests against one in-process server
+// and reports mean wall time and heap allocations per request.
+func measureRoute(iters int, disableTracing bool) Entry {
+	s := server.New(server.Config{
+		RequestTimeout: 30 * time.Second,
+		DisableTracing: disableTracing,
+		SampleInterval: -1,
+	})
+	defer s.Close()
+	const target = "/v1/route?family=MS&l=2&n=3&src=2314567&dst=7654321"
+	serve := func() {
+		r := httptest.NewRequest(http.MethodGet, target, nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			fail(fmt.Errorf("benchreport: route = %d: %s", w.Code, w.Body.String()))
+		}
+	}
+	for i := 0; i < 100; i++ {
+		serve() // warm the cache, the trace pool, and the JSON encoder paths
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		serve()
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	name := "telemetry/route-traced"
+	if disableTracing {
+		name = "telemetry/route-untraced"
+	}
+	return Entry{
+		Name:        name,
+		K:           7,
+		Rounds:      iters,
+		NsPerOp:     nsPerOp(elapsed, iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		Detail:      "warm-cache MS(2,3) route through the full middleware stack",
 	}
 }
 

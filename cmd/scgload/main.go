@@ -50,6 +50,12 @@ type Report struct {
 	// ServerStats is the daemon's own /statsz snapshot after the run —
 	// cache hit/build counts prove what the load actually exercised.
 	ServerStats *server.StatsResponse `json:"server_stats,omitempty"`
+	// MetricsDelta is the change in every monotone /metricsz sample
+	// (counters and histogram buckets) across the measurement window: the
+	// server's own accounting of the run, from the same scrape surface a
+	// production Prometheus would watch. Absent when /metricsz was
+	// unreachable.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
 }
 
 // EndpointLoad is one endpoint's measured load slice ("total" aggregates).
@@ -126,6 +132,7 @@ func main() {
 	if *workers < 1 {
 		*workers = 1
 	}
+	before := scrapeMetrics(client, base)
 	deadline := time.Now().Add(*duration)
 	t0 := time.Now()
 	perWorker, err := pool.Map(*workers, *workers, func(i int) (*workerStats, error) {
@@ -185,6 +192,7 @@ func main() {
 	total.Latency = totalLat.Summary()
 	rep.Endpoints = append(rep.Endpoints, total)
 	rep.ServerStats = fetchStats(client, base)
+	rep.MetricsDelta = metricsDelta(before, scrapeMetrics(client, base))
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	fail(err)
@@ -266,6 +274,76 @@ func issue(client *http.Client, reqURL string) (int, error) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close()
 	return resp.StatusCode, nil
+}
+
+// scrapeMetrics fetches /metricsz and parses the monotone samples (families
+// typed counter or histogram) into sample-name -> value. Gauges are skipped:
+// a before/after subtraction only means something for values that never go
+// down. Returns nil when the endpoint is unreachable (an older daemon).
+func scrapeMetrics(client *http.Client, base string) map[string]float64 {
+	resp, err := client.Get(base + "/metricsz")
+	if err != nil {
+		return nil
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil
+	}
+	monotone := make(map[string]bool)
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) == 4 && (f[3] == "counter" || f[3] == "histogram") {
+				monotone[f[2]] = true
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name := line[:sp]
+		base := name
+		if b := strings.IndexByte(base, '{'); b >= 0 {
+			base = base[:b]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if monotone[strings.TrimSuffix(base, suffix)] {
+				base = strings.TrimSuffix(base, suffix)
+				break
+			}
+		}
+		if !monotone[base] {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[sp+1:], 64); err == nil {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// metricsDelta subtracts two scrapes, keeping samples that moved (or
+// appeared) during the window.
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	if after == nil {
+		return nil
+	}
+	delta := make(map[string]float64)
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			delta[name] = d
+		}
+	}
+	return delta
 }
 
 // fetchStats grabs the server's /statsz snapshot; nil when unreachable.

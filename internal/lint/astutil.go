@@ -96,7 +96,7 @@ func pathHasSuffix(path string, suffixes ...string) bool {
 // importsPackage reports whether the package directly imports path. It is
 // the cheap pre-gate for analyzers whose trigger syntax requires naming a
 // package (sync/atomic calls, sync type declarations): packages without the
-// import skip the sweep entirely, which is what keeps the ten-analyzer run
+// import skip the sweep entirely, which is what keeps the full-catalog run
 // near the six-analyzer cost.
 func importsPackage(p *Package, path string) bool {
 	for _, im := range p.Types.Imports() {

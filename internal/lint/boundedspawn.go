@@ -32,7 +32,7 @@ var analyzerBoundedSpawn = &Analyzer{
 }
 
 // boundedSpawnPackages are the import-path suffixes the analyzer covers.
-var boundedSpawnPackages = []string{"internal/core", "internal/sim", "internal/figures", "internal/server"}
+var boundedSpawnPackages = []string{"internal/core", "internal/sim", "internal/figures", "internal/server", "internal/telemetry"}
 
 func runBoundedSpawn(p *Package, report Reporter) {
 	if !pathHasSuffix(p.Path, boundedSpawnPackages...) {

@@ -110,3 +110,4 @@ func TestGoroutineCaptureGolden(t *testing.T) { runFixture(t, "goroutinecapture"
 func TestAtomicMixGolden(t *testing.T)        { runFixture(t, "atomicmix") }
 func TestWaitGroupLintGolden(t *testing.T)    { runFixture(t, "waitgrouplint") }
 func TestBoundedSpawnGolden(t *testing.T)     { runFixture(t, "boundedspawn") }
+func TestTelemetryLabelGolden(t *testing.T)   { runFixture(t, "telemetrylabel") }

@@ -1,6 +1,9 @@
 package lint
 
-import "go/ast"
+import (
+	"go/ast"
+	"go/token"
+)
 
 // The shared one-pass AST index.
 //
@@ -42,6 +45,25 @@ type index struct {
 	assigns    []indexed[*ast.AssignStmt]
 	funcDecls  []*ast.FuncDecl
 	stmtLists  []stmtList
+	composites []indexed[*ast.CompositeLit]
+	// loopBodies records the position extent of every for/range body, for
+	// analyzers that forbid a shape inside loops (telemetrylabel).
+	loopBodies []posExtent
+}
+
+// posExtent is one node's [Pos, End) span.
+type posExtent struct {
+	from, to token.Pos
+}
+
+// contains reports whether pos falls inside any recorded extent.
+func containsPos(extents []posExtent, pos token.Pos) bool {
+	for _, e := range extents {
+		if pos >= e.from && pos < e.to {
+			return true
+		}
+	}
+	return false
 }
 
 // cachedIndex is the lazily built index, stored on the Package so every
@@ -86,6 +108,12 @@ func (w indexWalker) Visit(n ast.Node) ast.Visitor {
 		w.ix.stmtLists = append(w.ix.stmtLists, stmtList{t.Body, w.ctx})
 	case *ast.CommClause:
 		w.ix.stmtLists = append(w.ix.stmtLists, stmtList{t.Body, w.ctx})
+	case *ast.CompositeLit:
+		w.ix.composites = append(w.ix.composites, indexed[*ast.CompositeLit]{t, w.ctx})
+	case *ast.ForStmt:
+		w.ix.loopBodies = append(w.ix.loopBodies, posExtent{t.Body.Pos(), t.Body.End()})
+	case *ast.RangeStmt:
+		w.ix.loopBodies = append(w.ix.loopBodies, posExtent{t.Body.Pos(), t.Body.End()})
 	}
 	return w
 }

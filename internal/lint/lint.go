@@ -105,6 +105,7 @@ func Analyzers() []*Analyzer {
 		analyzerAtomicMix,
 		analyzerWaitGroupLint,
 		analyzerBoundedSpawn,
+		analyzerTelemetryLabel,
 	}
 }
 

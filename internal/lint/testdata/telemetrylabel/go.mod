@@ -1,0 +1,3 @@
+module fixtele
+
+go 1.22

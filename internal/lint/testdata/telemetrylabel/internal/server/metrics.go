@@ -1,0 +1,59 @@
+// Package server mirrors scgd's registration discipline: every metric name
+// and label key is a compile-time constant, registered once at construction
+// through the telemetry registry. The flagged shapes below are the
+// cardinality leaks the analyzer exists to catch.
+package server
+
+import "fixtele/internal/telemetry"
+
+const latencyFamily = "http_request_duration_us"
+
+// register is the sanctioned shape: constant names, constant label keys,
+// per-endpoint label values bound at construction (values may vary).
+func register(reg *telemetry.Registry, endpoint string) *telemetry.Counter {
+	reg.Gauge("queue_depth", "Queued jobs.")
+	reg.Histogram(latencyFamily, "Latency.", telemetry.Label{Key: "endpoint", Value: endpoint})
+	reg.CounterFunc("builds_total", "Builds.", func() int64 { return 0 },
+		telemetry.Label{Key: "kind", Value: "network"})
+	return reg.Counter("requests_total", "Requests.", telemetry.Label{Key: "endpoint", Value: endpoint})
+}
+
+// dynamicName computes the family name from a variable: the series identity
+// is invisible in source.
+func dynamicName(reg *telemetry.Registry, endpoint string) {
+	reg.Counter("errors_"+endpoint, "Errors.") //lintwant dynamically-named metric
+}
+
+// dynamicKey moves request data into the label key.
+func dynamicKey(reg *telemetry.Registry, dim string) {
+	reg.Gauge("depth", "Depth.", telemetry.Label{Key: dim, Value: "x"}) //lintwant label key must be a compile-time constant
+}
+
+// positionalKey hits the same rule through a positional literal.
+func positionalKey(reg *telemetry.Registry, dim string) {
+	reg.Gauge("lag", "Lag.", telemetry.Label{dim, "x"}) //lintwant label key must be a compile-time constant
+}
+
+// splatted hides the series set behind a slice.
+func splatted(reg *telemetry.Registry, labels []telemetry.Label) {
+	reg.Counter("ops_total", "Ops.", labels...) //lintwant slice expansion
+}
+
+// opaque passes a label the analyzer cannot see into.
+func opaque(reg *telemetry.Registry, l telemetry.Label) {
+	reg.Counter("ticks_total", "Ticks.", l) //lintwant opaque value
+}
+
+// inLoop registers per iteration: the classic unbounded-series leak.
+func inLoop(reg *telemetry.Registry, endpoints []string) {
+	for range endpoints {
+		reg.Counter("loop_total", "Loop.") //lintwant metric registered inside a loop
+	}
+}
+
+// handBuilt bypasses the registry entirely; the instrument never scrapes.
+func handBuilt() *telemetry.Counter {
+	c := &telemetry.Counter{} //lintwant unregistered metric instrument
+	c.Inc()
+	return c
+}

@@ -1,0 +1,39 @@
+// Package telemetry mirrors the real registry surface: the analyzer matches
+// on a Registry named type in a package named "telemetry", so this
+// mini-module exercises it without importing the repository.
+package telemetry
+
+// Label is one metric dimension.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotone instrument.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Gauge is a settable instrument.
+type Gauge struct{ v float64 }
+
+// Histogram is a distribution instrument.
+type Histogram struct{ n int64 }
+
+// Registry hands out instruments.
+type Registry struct{}
+
+// Counter registers a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter { return &Counter{} }
+
+// CounterFunc registers a scrape-time counter series.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {}
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge { return &Gauge{} }
+
+// GaugeFunc registers a scrape-time gauge series.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {}
+
+// Histogram registers a histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram { return &Histogram{} }

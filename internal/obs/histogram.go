@@ -208,6 +208,34 @@ func (h *Histogram) Buckets() []Bucket {
 	return out
 }
 
+// CumBucket is one cumulative histogram bucket: Count observations have a
+// value <= Le. Observations are integers, so Le is the largest value the
+// underlying log bucket contains (its exclusive upper bound minus one),
+// which makes the cumulative counts exact rather than estimates.
+type CumBucket struct {
+	Le    int64
+	Count int64
+}
+
+// Cumulative returns the non-empty buckets as a cumulative distribution in
+// increasing Le order: entry i counts every observation <= Le. The final
+// entry's Count equals Count(). This is the shape a Prometheus-style
+// text-exposition histogram wants (each `le` series is cumulative, with
+// `le="+Inf"` equal to the total count).
+func (h *Histogram) Cumulative() []CumBucket {
+	var out []CumBucket
+	var cum int64
+	for idx, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		_, hi := BucketBounds(idx)
+		cum += c
+		out = append(out, CumBucket{Le: hi - 1, Count: cum})
+	}
+	return out
+}
+
 // FromBuckets rebuilds a histogram from exported buckets plus the exact
 // aggregates; used by the NDJSON reader. Each bucket's observations are
 // attributed to its Lo bound, so rebuilt quantiles match the original within

@@ -159,3 +159,42 @@ func TestHistogramBuckets(t *testing.T) {
 		t.Errorf("FromBuckets lost aggregates")
 	}
 }
+
+func TestCumulative(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Cumulative(); got != nil {
+		t.Fatalf("empty histogram Cumulative = %+v, want nil", got)
+	}
+	vals := []int64{0, 2, 2, 17, 17, 17, 1000, 1 << 40}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	if len(cum) == 0 {
+		t.Fatal("no cumulative buckets")
+	}
+	for i, b := range cum {
+		if i > 0 {
+			if b.Le <= cum[i-1].Le {
+				t.Errorf("Le not strictly increasing: %+v", cum)
+			}
+			if b.Count < cum[i-1].Count {
+				t.Errorf("cumulative counts decreasing: %+v", cum)
+			}
+		}
+		// Cross-check against the raw values: Count must equal the number
+		// of observations <= Le (cumulative counts are exact for integers).
+		var want int64
+		for _, v := range vals {
+			if v <= b.Le {
+				want++
+			}
+		}
+		if b.Count != want {
+			t.Errorf("bucket le=%d count=%d, want %d", b.Le, b.Count, want)
+		}
+	}
+	if last := cum[len(cum)-1]; last.Count != h.Count() {
+		t.Errorf("final cumulative count %d != total %d", last.Count, h.Count())
+	}
+}

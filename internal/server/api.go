@@ -104,9 +104,12 @@ type ProfileResult struct {
 // with Status "queued" (202), "done" when the profile was already cached
 // (200); polls return the current state.
 type ProfileResponse struct {
-	JobID   string `json:"job_id"`
-	Network string `json:"network"`
-	Status  string `json:"status"`
+	JobID string `json:"job_id"`
+	// RequestID is the X-Request-Id of the request that created the job —
+	// the join key into the access and slow logs for the async build.
+	RequestID string `json:"request_id,omitempty"`
+	Network   string `json:"network"`
+	Status    string `json:"status"`
 	// Cached is true when the submit was answered from the profile cache
 	// without running a new job.
 	Cached bool           `json:"cached,omitempty"`
@@ -137,12 +140,15 @@ type JobsStats struct {
 
 // StatsResponse is the /statsz document.
 type StatsResponse struct {
-	UptimeSeconds float64                  `json:"uptime_seconds"`
-	Goroutines    int                      `json:"goroutines"`
-	GOMAXPROCS    int                      `json:"gomaxprocs"`
-	Endpoints     map[string]EndpointStats `json:"endpoints"`
-	Cache         CacheStats               `json:"cache"`
-	Jobs          JobsStats                `json:"jobs"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	// SlowRequests counts slow-log lines emitted (requests and job builds
+	// at least Config.SlowThreshold slow, when the slow log is enabled).
+	SlowRequests int64                    `json:"slow_requests"`
+	Endpoints    map[string]EndpointStats `json:"endpoints"`
+	Cache        CacheStats               `json:"cache"`
+	Jobs         JobsStats                `json:"jobs"`
 }
 
 // HealthResponse is the /healthz document.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -114,7 +115,12 @@ func NewCache(budgetBytes int64) *Cache {
 // Network returns the materialized network for key, building it at most
 // once no matter how many requests race on a cold key.
 func (c *Cache) Network(ctx context.Context, key Key) (*topology.Network, error) {
+	// tr marks the build phase only when this caller loses the singleflight
+	// race into an actual build; a warm hit stays inside the handler's
+	// "cache" span.
+	tr := telemetry.TraceFrom(ctx)
 	v, err := c.getOrBuild(ctx, cacheKey{kindNetwork, key}, func() (any, int64, error) {
+		tr.Phase("build-topology")
 		nw, err := topology.New(key.Family, key.L, key.N)
 		if err != nil {
 			return nil, 0, err
@@ -136,7 +142,9 @@ func (c *Cache) Profile(ctx context.Context, key Key) (*core.BFSResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr := telemetry.TraceFrom(ctx)
 	v, err := c.getOrBuild(ctx, cacheKey{kindProfile, key}, func() (any, int64, error) {
+		tr.Phase("build-profile")
 		res, err := nw.Graph().ExactProfile()
 		if err != nil {
 			return nil, 0, err
@@ -187,6 +195,7 @@ func (c *Cache) getOrBuild(ctx context.Context, ck cacheKey, build func() (any, 
 	if f, ok := c.flights[ck]; ok {
 		c.stats.Coalesced++
 		c.mu.Unlock()
+		telemetry.TraceFrom(ctx).Phase("build-wait")
 		select {
 		case <-f.done:
 			return f.val, f.err

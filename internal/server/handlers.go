@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/perm"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -125,6 +126,11 @@ func intParam(q url.Values, name string) (int, error) {
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) int {
+	// The span timeline follows the pipeline: decode -> cache (-> build-*
+	// inside the cache on a miss) -> solve -> verify -> encode. tr is nil
+	// when tracing is disabled; every Phase call then no-ops.
+	tr := telemetry.TraceFrom(r.Context())
+	tr.Phase("decode")
 	req, err := decodeRouteRequest(w, r)
 	if err != nil {
 		if r.Method != http.MethodGet && r.Method != http.MethodPost {
@@ -136,6 +142,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, err.Error())
 	}
+	tr.Phase("cache")
 	nw, status, err := s.network(r.Context(), key)
 	if err != nil {
 		return writeErr(w, status, err.Error())
@@ -148,13 +155,16 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, err.Error())
 	}
+	tr.Phase("solve")
 	moves, err := nw.Route(src, dst)
 	if err != nil {
 		return writeErr(w, http.StatusInternalServerError, "routing failed: "+err.Error())
 	}
+	tr.Phase("verify")
 	if err := nw.VerifyRoute(src, dst, moves); err != nil {
 		return writeErr(w, http.StatusInternalServerError, "route verification failed: "+err.Error())
 	}
+	tr.Phase("encode")
 	names := make([]string, len(moves))
 	for i, m := range moves {
 		names[i] = m.Name()
@@ -314,7 +324,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) int {
 		return writeErr(w, http.StatusBadRequest,
 			fmt.Sprintf("exact profile needs k <= %d (%d! states must be enumerable), got k=%d", core.MaxExplicitK, core.MaxExplicitK, k))
 	}
-	job, err := s.jobs.Submit(key)
+	job, err := s.jobs.Submit(key, w.Header().Get("X-Request-Id"))
 	if err != nil {
 		if errors.Is(err, ErrJobsBusy) {
 			return writeErr(w, http.StatusServiceUnavailable, err.Error())
@@ -334,11 +344,12 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) int {
 // jobResponse renders a job snapshot on the wire.
 func jobResponse(job Job, cached bool) ProfileResponse {
 	resp := ProfileResponse{
-		JobID:   job.ID,
-		Network: job.Key.String(),
-		Status:  string(job.Status),
-		Cached:  cached,
-		Error:   job.Err,
+		JobID:     job.ID,
+		RequestID: job.ReqID,
+		Network:   job.Key.String(),
+		Status:    string(job.Status),
+		Cached:    cached,
+		Error:     job.Err,
 	}
 	if job.Result != nil {
 		resp.Result = &ProfileResult{
@@ -361,5 +372,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) int {
 	writeJSON(w, http.StatusOK, s.Stats())
+	return http.StatusOK
+}
+
+// handleMetricsz is the Prometheus scrape endpoint. It renders the same
+// instruments /statsz snapshots, in the text exposition format (0.0.4).
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeErr(w, http.StatusMethodNotAllowed, "use GET")
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// A failed write means the scraper went away; there is nothing to do.
+	_ = s.reg.WritePrometheus(w)
 	return http.StatusOK
 }

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pool"
+	"repro/internal/telemetry"
 )
 
 // JobStatus is the lifecycle state of an exact-profile job.
@@ -33,8 +35,12 @@ var ErrUnknownJob = errors.New("server: unknown job id")
 // Job is one asynchronous exact-profile computation. The struct returned by
 // Submit and Get is a copy; the Result pointer, once set, is immutable.
 type Job struct {
-	ID     string
-	Key    Key
+	ID  string
+	Key Key
+	// ReqID is the X-Request-Id of the submitting request: the async build
+	// stays correlated with the HTTP request that asked for it, in both the
+	// poll response and the slow log.
+	ReqID  string
 	Status JobStatus
 	Err    string
 	Result *core.BFSResult
@@ -53,6 +59,10 @@ const maxFinishedJobs = 1024
 type Jobs struct {
 	cache  *Cache
 	runner *pool.Runner
+	// slow, when non-nil, receives each executed job's span timeline after
+	// it finishes (the server wires this to its slow log; the spans alias a
+	// pooled trace and must not be retained past the call).
+	slow func(job *Job, start time.Time, d time.Duration, spans []telemetry.PhaseSpan)
 
 	mu       sync.Mutex
 	byID     map[string]*Job
@@ -74,9 +84,11 @@ func NewJobs(cache *Cache, runner *pool.Runner) *Jobs {
 }
 
 // Submit registers an exact-profile job for key and returns its snapshot.
+// reqID is the submitting request's X-Request-Id, recorded on a newly
+// created job (a coalesced submit keeps the original submitter's ID).
 // Cached profiles complete synchronously; duplicate submits coalesce onto
 // the in-flight job; a full worker queue returns ErrJobsBusy.
-func (j *Jobs) Submit(key Key) (Job, error) {
+func (j *Jobs) Submit(key Key, reqID string) (Job, error) {
 	j.mu.Lock()
 	if job, ok := j.byKey[key]; ok {
 		j.stats.Coalesced++
@@ -86,6 +98,7 @@ func (j *Jobs) Submit(key Key) (Job, error) {
 	}
 	if res, ok := j.cache.CachedProfile(key); ok {
 		job := j.newJobLocked(key)
+		job.ReqID = reqID
 		job.Status = JobDone
 		job.Result = res
 		j.stats.Submitted++
@@ -96,6 +109,7 @@ func (j *Jobs) Submit(key Key) (Job, error) {
 		return snap, nil
 	}
 	job := j.newJobLocked(key)
+	job.ReqID = reqID
 	job.Status = JobQueued
 	id := job.ID
 	// Admit before publishing: runner.Submit never blocks (bounded queue,
@@ -145,7 +159,10 @@ func (j *Jobs) Stats() JobsStats {
 // finished, and no further submits are accepted by the runner.
 func (j *Jobs) Close() { j.runner.Close() }
 
-// run executes one job on a runner worker.
+// run executes one job on a runner worker. The worker acquires its own
+// trace under the submitting request's ID, so the build/BFS phases of an
+// async profile land in the slow log correlated with the 202 the client
+// already holds.
 func (j *Jobs) run(id string) {
 	j.mu.Lock()
 	job, ok := j.byID[id]
@@ -155,9 +172,25 @@ func (j *Jobs) run(id string) {
 	}
 	job.Status = JobRunning
 	key := job.Key
+	reqID := job.ReqID
 	j.mu.Unlock()
 
-	res, err := j.cache.Profile(context.Background(), key)
+	start := time.Now()
+	ctx := context.Background()
+	var tr *telemetry.Trace
+	if j.slow != nil {
+		tr = telemetry.AcquireTrace(reqID, start)
+		defer tr.Release()
+		ctx = telemetry.WithTrace(ctx, tr)
+	}
+
+	res, err := j.cache.Profile(ctx, key)
+
+	if j.slow != nil {
+		d := time.Since(start)
+		snap := Job{ID: id, Key: key, ReqID: reqID}
+		j.slow(&snap, start, d, tr.Spans())
+	}
 
 	j.mu.Lock()
 	if err != nil {

@@ -34,7 +34,7 @@ func TestJobCompletesAndMatchesDirectBFS(t *testing.T) {
 	defer j.Close()
 
 	key := msKey(2, 1) // k=3
-	job, err := j.Submit(key)
+	job, err := j.Submit(key, "")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -71,11 +71,11 @@ func TestJobSubmitCoalescesInFlightKey(t *testing.T) {
 		t.Fatal("blocker rejected")
 	}
 	key := msKey(2, 1)
-	first, err := j.Submit(key)
+	first, err := j.Submit(key, "")
 	if err != nil {
 		t.Fatalf("first Submit: %v", err)
 	}
-	second, err := j.Submit(key)
+	second, err := j.Submit(key, "")
 	if err != nil {
 		t.Fatalf("second Submit: %v", err)
 	}
@@ -90,7 +90,7 @@ func TestJobSubmitCoalescesInFlightKey(t *testing.T) {
 		t.Fatalf("job ended %q (err=%q)", done.Status, done.Err)
 	}
 	// The key is released: a fresh submit now completes from cache.
-	third, err := j.Submit(key)
+	third, err := j.Submit(key, "")
 	if err != nil {
 		t.Fatalf("post-completion Submit: %v", err)
 	}
@@ -113,7 +113,7 @@ func TestJobSubmitFullQueueRejects(t *testing.T) {
 	}
 	for runner.Submit(func() { <-release }) {
 	}
-	if _, err := j.Submit(msKey(2, 1)); !errors.Is(err, ErrJobsBusy) {
+	if _, err := j.Submit(msKey(2, 1), ""); !errors.Is(err, ErrJobsBusy) {
 		t.Fatalf("Submit on a full queue = %v, want ErrJobsBusy", err)
 	}
 	st := j.Stats()
@@ -136,7 +136,7 @@ func TestJobCachedProfileCompletesSynchronously(t *testing.T) {
 	if _, err := c.Profile(context.Background(), key); err != nil {
 		t.Fatalf("warm Profile: %v", err)
 	}
-	job, err := j.Submit(key)
+	job, err := j.Submit(key, "")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -156,7 +156,7 @@ func TestJobGetUnknownID(t *testing.T) {
 func TestJobCloseDrainsAdmittedWork(t *testing.T) {
 	c := NewCache(64 << 20)
 	j := NewJobs(c, pool.NewRunner(1, 4))
-	job, err := j.Submit(msKey(2, 1))
+	job, err := j.Submit(msKey(2, 1), "")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}

@@ -5,7 +5,7 @@
 // neighbor enumeration, degree/diameter/cost metrics, exact distance
 // profiles — from long-lived state instead of one-shot CLI runs.
 //
-// Three layers sit under the six HTTP endpoints:
+// Three layers sit under the HTTP endpoints:
 //
 //   - Cache: a byte-budgeted LRU of materialized topologies and exact BFS
 //     distance tables keyed by (family, l, n), with singleflight request
@@ -19,8 +19,14 @@
 //     internal/pool and the sanctioned http.Server.Serve idiom, which is
 //     what scglint's boundedspawn policy enforces here.
 //
-// Every endpoint is instrumented with internal/obs latency histograms
-// (p50/p95/p99 at /statsz) and optional NDJSON access records.
+// Telemetry (internal/telemetry) threads through all of it: every request
+// gets an X-Request-Id (generated or propagated) that stamps access-log
+// records and async job snapshots; a pooled span timeline follows the
+// request through admission → decode → cache → build → solve → encode and
+// feeds an NDJSON slow-request log; and one static metrics registry backs
+// both /statsz (JSON snapshot) and /metricsz (Prometheus text exposition),
+// so the two surfaces can never disagree. A runtime/metrics sampler adds
+// heap/GC/goroutine/scheduler gauges on a fixed interval.
 package server
 
 import (
@@ -32,11 +38,10 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
-	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/telemetry"
 )
 
 // Config tunes one Server. The zero value is usable: every field has a
@@ -58,6 +63,22 @@ type Config struct {
 	MaxK int
 	// AccessLog, when non-nil, receives one NDJSON AccessRecord per request.
 	AccessLog io.Writer
+	// SlowLog, when non-nil, receives one NDJSON SlowRecord (request ID,
+	// status, per-phase span timeline) for every request at least
+	// SlowThreshold slow, and for every async profile job's build.
+	SlowLog io.Writer
+	// SlowThreshold is the slow-log latency floor. Zero logs every request
+	// when SlowLog is set (useful for tracing a reproduction); it has no
+	// effect when SlowLog is nil.
+	SlowThreshold time.Duration
+	// DisableTracing turns off request span timelines and the slow log.
+	// Request IDs, /statsz counters, and /metricsz remain: tracing is the
+	// only per-request telemetry with measurable machinery, and the
+	// cmd/benchreport guard pins its cost at zero allocations per request.
+	DisableTracing bool
+	// SampleInterval is the runtime/metrics sampler period (default 10s;
+	// negative disables the sampler).
+	SampleInterval time.Duration
 }
 
 // maxRepresentableK is the largest k with k! representable in int64.
@@ -82,61 +103,62 @@ func (c Config) withDefaults() Config {
 	if c.MaxK <= 0 || c.MaxK > maxRepresentableK {
 		c.MaxK = maxRepresentableK
 	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 10 * time.Second
+	}
 	return c
 }
 
-// endpoint is the per-route instrumentation: an admission gate (nil for the
-// always-on health/stats routes) and a latency histogram in microseconds.
+// endpoint is the per-route instrumentation. The counters and the latency
+// histogram are telemetry-registry instruments — /statsz snapshots and
+// /metricsz exposition read the same atomics, which is what guarantees the
+// two surfaces agree for identical traffic.
 type endpoint struct {
-	name string
-	gate *pool.Gate
-
-	mu       sync.Mutex
-	requests int64
-	errors   int64
-	rejected int64
-	lat      *obs.Histogram
+	name     string
+	gate     *pool.Gate
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	rejected *telemetry.Counter
+	lat      *telemetry.Histogram
 }
 
 func (e *endpoint) observe(status int, d time.Duration) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.requests++
+	e.requests.Inc()
 	if status >= 400 {
-		e.errors++
+		e.errors.Inc()
 	}
 	e.lat.Observe(d.Microseconds())
 }
 
 func (e *endpoint) reject() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.requests++
-	e.errors++
-	e.rejected++
+	e.requests.Inc()
+	e.errors.Inc()
+	e.rejected.Inc()
 }
 
 func (e *endpoint) snapshot() EndpointStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return EndpointStats{
-		Requests: e.requests,
-		Errors:   e.errors,
-		Rejected: e.rejected,
+		Requests: e.requests.Value(),
+		Errors:   e.errors.Value(),
+		Rejected: e.rejected.Value(),
 		Latency:  e.lat.Summary(),
 	}
 }
 
-// Server wires the cache, the job manager, admission control, and the
-// handlers into one http.Handler.
+// Server wires the cache, the job manager, admission control, telemetry,
+// and the handlers into one http.Handler.
 type Server struct {
-	cfg    Config
-	cache  *Cache
-	jobs   *Jobs
-	access *accessLog
-	start  time.Time
-	mux    *http.ServeMux
-	eps    map[string]*endpoint
+	cfg     Config
+	cache   *Cache
+	jobs    *Jobs
+	access  *accessLog
+	slow    *slowLog
+	reg     *telemetry.Registry
+	sampler *telemetry.Sampler
+	slowCnt *telemetry.Counter
+	start   time.Time
+	mux     *http.ServeMux
+	eps     map[string]*endpoint
 }
 
 // New builds a Server from cfg (zero value = defaults).
@@ -146,11 +168,16 @@ func New(cfg Config) *Server {
 		cfg:    cfg,
 		cache:  NewCache(cfg.CacheBytes),
 		access: newAccessLog(cfg.AccessLog),
+		slow:   newSlowLog(cfg.SlowLog),
+		reg:    telemetry.NewRegistry(),
 		start:  time.Now(),
 		mux:    http.NewServeMux(),
 		eps:    make(map[string]*endpoint),
 	}
 	s.jobs = NewJobs(s.cache, pool.NewRunner(cfg.ProfileWorkers, cfg.ProfileQueue))
+	if !cfg.DisableTracing {
+		s.jobs.slow = s.logSlowJob
+	}
 
 	s.route("/v1/route", true, s.handleRoute)
 	s.route("/v1/neighbors", true, s.handleNeighbors)
@@ -158,7 +185,66 @@ func New(cfg Config) *Server {
 	s.route("/v1/profile", true, s.handleProfile)
 	s.route("/healthz", false, s.handleHealthz)
 	s.route("/statsz", false, s.handleStatsz)
+	s.route("/metricsz", false, s.handleMetricsz)
+
+	s.registerTelemetry()
+	if cfg.SampleInterval > 0 {
+		s.sampler = telemetry.NewSampler(s.reg, cfg.SampleInterval)
+		s.sampler.Start()
+	}
 	return s
+}
+
+// registerTelemetry installs the non-endpoint metric families: cache and
+// job counters/gauges (scrape-time reads of the same mutex-guarded stats
+// /statsz reports), uptime, and the slow-request counter. Every family and
+// label is a compile-time constant — scglint's telemetrylabel analyzer
+// keeps the registry's cardinality static.
+func (s *Server) registerTelemetry() {
+	s.slowCnt = s.reg.Counter("scgd_slow_requests_total",
+		"Slow-log lines emitted: requests (and job builds) at least -slow-ms slow.")
+	s.reg.GaugeFunc("scgd_uptime_seconds", "Seconds since server start.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	cache := func(read func(CacheStats) int64) func() int64 {
+		return func() int64 { return read(s.cache.Stats()) }
+	}
+	s.reg.CounterFunc("scgd_cache_hits_total", "Cache lookups answered from residency.",
+		cache(func(st CacheStats) int64 { return st.Hits }))
+	s.reg.CounterFunc("scgd_cache_misses_total", "Cache lookups that triggered or joined a build.",
+		cache(func(st CacheStats) int64 { return st.Misses }))
+	s.reg.CounterFunc("scgd_cache_builds_total", "Topology/profile builds executed.",
+		cache(func(st CacheStats) int64 { return st.Builds }))
+	s.reg.CounterFunc("scgd_cache_coalesced_total", "Lookups that waited on another request's build.",
+		cache(func(st CacheStats) int64 { return st.Coalesced }))
+	s.reg.CounterFunc("scgd_cache_evictions_total", "LRU evictions under byte pressure.",
+		cache(func(st CacheStats) int64 { return st.Evictions }))
+	s.reg.CounterFunc("scgd_cache_oversize_total", "Built values too large to cache.",
+		cache(func(st CacheStats) int64 { return st.Oversize }))
+	s.reg.GaugeFunc("scgd_cache_entries", "Resident cache entries.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	s.reg.GaugeFunc("scgd_cache_bytes_used", "Estimated resident bytes.",
+		func() float64 { return float64(s.cache.Stats().BytesUsed) })
+	s.reg.GaugeFunc("scgd_cache_bytes_budget", "Cache byte budget.",
+		func() float64 { return float64(s.cache.Stats().BytesBudget) })
+
+	jobs := func(read func(JobsStats) int64) func() int64 {
+		return func() int64 { return read(s.jobs.Stats()) }
+	}
+	s.reg.CounterFunc("scgd_jobs_submitted_total", "Exact-profile jobs admitted.",
+		jobs(func(st JobsStats) int64 { return st.Submitted }))
+	s.reg.CounterFunc("scgd_jobs_coalesced_total", "Submits coalesced onto an in-flight job.",
+		jobs(func(st JobsStats) int64 { return st.Coalesced }))
+	s.reg.CounterFunc("scgd_jobs_completed_total", "Jobs finished successfully.",
+		jobs(func(st JobsStats) int64 { return st.Completed }))
+	s.reg.CounterFunc("scgd_jobs_failed_total", "Jobs that ended in error.",
+		jobs(func(st JobsStats) int64 { return st.Failed }))
+	s.reg.CounterFunc("scgd_jobs_rejected_total", "Submits shed by a full queue.",
+		jobs(func(st JobsStats) int64 { return st.Rejected }))
+	s.reg.GaugeFunc("scgd_jobs_queued", "Jobs waiting for a worker.",
+		func() float64 { return float64(s.jobs.Stats().Queued) })
+	s.reg.GaugeFunc("scgd_jobs_running", "Jobs executing now.",
+		func() float64 { return float64(s.jobs.Stats().Running) })
 }
 
 // Handler returns the root http.Handler.
@@ -170,11 +256,19 @@ func (s *Server) Cache() *Cache { return s.cache }
 // Jobs exposes the job manager for stats and tests.
 func (s *Server) Jobs() *Jobs { return s.jobs }
 
-// Close drains the async job queue: it blocks until every admitted
-// exact-profile job has finished. In-flight HTTP requests are drained by
-// http.Server.Shutdown (see Run); Close handles the work that outlives its
-// submitting request.
-func (s *Server) Close() { s.jobs.Close() }
+// Registry exposes the metrics registry (scrape it with WritePrometheus).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Close stops the runtime sampler and drains the async job queue: it
+// blocks until every admitted exact-profile job has finished. In-flight
+// HTTP requests are drained by http.Server.Shutdown (see Run); Close
+// handles the work that outlives its submitting request.
+func (s *Server) Close() {
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
+	s.jobs.Close()
+}
 
 // Stats assembles the /statsz document.
 func (s *Server) Stats() StatsResponse {
@@ -191,27 +285,46 @@ func (s *Server) Stats() StatsResponse {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		SlowRequests:  s.slowCnt.Value(),
 		Endpoints:     eps,
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.Stats(),
 	}
 }
 
-// route registers a handler with the shared middleware: admission gate
-// (when gated), request deadline, latency histogram, and access record.
+// route registers a handler with the shared middleware: request-ID
+// issuance, span timeline, admission gate (when gated), request deadline,
+// metrics, access record, and the slow-log decision.
 func (s *Server) route(name string, gated bool, fn func(w http.ResponseWriter, r *http.Request) int) {
-	ep := &endpoint{name: name, lat: obs.NewHistogram()}
+	ep := &endpoint{
+		name:     name,
+		requests: s.reg.Counter("scgd_http_requests_total", "Requests received per endpoint.", telemetry.Label{Key: "endpoint", Value: name}),
+		errors:   s.reg.Counter("scgd_http_errors_total", "Requests answered with status >= 400.", telemetry.Label{Key: "endpoint", Value: name}),
+		rejected: s.reg.Counter("scgd_http_rejected_total", "Requests shed by the admission gate (503).", telemetry.Label{Key: "endpoint", Value: name}),
+		lat:      s.reg.Histogram("scgd_http_request_duration_us", "Request service time in microseconds.", telemetry.Label{Key: "endpoint", Value: name}),
+	}
 	if gated {
 		ep.gate = pool.NewGate(s.cfg.MaxInflight)
 	}
 	s.eps[name] = ep
 	s.mux.HandleFunc(name, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if !telemetry.ValidRequestID(reqID) {
+			reqID = telemetry.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		var tr *telemetry.Trace
+		if !s.cfg.DisableTracing {
+			tr = telemetry.AcquireTrace(reqID, start)
+			defer tr.Release()
+			tr.Phase("admission")
+		}
 		if ep.gate != nil && !ep.gate.TryEnter() {
 			ep.reject()
 			writeJSON(w, http.StatusServiceUnavailable,
 				ErrorResponse{Error: "server busy: too many in-flight " + name + " requests"})
-			s.access.log(r, name, http.StatusServiceUnavailable, start, time.Since(start))
+			s.access.log(r, name, http.StatusServiceUnavailable, start, time.Since(start), reqID)
 			return
 		}
 		if ep.gate != nil {
@@ -219,11 +332,30 @@ func (s *Server) route(name string, gated bool, fn func(w http.ResponseWriter, r
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		// The trace key is installed even when tr is nil so the context
+		// chain — and therefore the request's allocation profile — is
+		// identical with tracing on and off.
+		ctx = telemetry.WithTrace(ctx, tr)
 		status := fn(w, r.WithContext(ctx))
 		d := time.Since(start)
 		ep.observe(status, d)
-		s.access.log(r, name, status, start, d)
+		s.access.log(r, name, status, start, d, reqID)
+		if s.slow != nil && d >= s.cfg.SlowThreshold {
+			s.slowCnt.Inc()
+			s.slow.log(reqID, name, r.Method, status, start, d, tr.Spans())
+		}
 	})
+}
+
+// logSlowJob emits a slow-log line for an async profile job's build (the
+// Jobs manager calls it from the worker; tr carries the submitting
+// request's ID, so a 202 submit joins its eventual build in the log).
+func (s *Server) logSlowJob(job *Job, start time.Time, d time.Duration, spans []telemetry.PhaseSpan) {
+	if s.slow == nil || d < s.cfg.SlowThreshold {
+		return
+	}
+	s.slowCnt.Inc()
+	s.slow.log(job.ReqID, "job:/v1/profile", "", 0, start, d, spans)
 }
 
 // Run serves s on ln until ctx is canceled, then shuts down gracefully:

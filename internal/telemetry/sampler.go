@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"repro/internal/pool"
+)
+
+// runtimeSamples are the runtime/metrics series the sampler polls. GC pauses
+// moved from /gc/pauses:seconds to /sched/pauses/total/gc:seconds across Go
+// releases, so both spellings are listed and the probe keeps whichever the
+// toolchain supports.
+var runtimeSamples = []struct {
+	name   string // runtime/metrics name
+	metric string // exposition family (empty: handled specially below)
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines"},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes"},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes"},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total"},
+	{"/sched/pauses/total/gc:seconds", "go_gc_pause_seconds"},
+	{"/gc/pauses:seconds", "go_gc_pause_seconds"},
+	{"/sched/latencies:seconds", "go_sched_latency_seconds"},
+}
+
+// samplerQuantiles are the summary points exported per runtime histogram.
+var samplerQuantiles = []struct {
+	q     float64
+	label string
+}{
+	{0.50, "0.5"},
+	{0.99, "0.99"},
+	{1.00, "1"},
+}
+
+// Sampler polls runtime/metrics on a fixed interval and publishes the
+// results as registry gauges: goroutine count, heap and total memory, GC
+// cycles, and quantile summaries of the GC-pause and scheduler-latency
+// histograms. The polling loop runs on a single-worker pool.Runner — the
+// audited spawn chokepoint — and Stop joins it, so a stopped Sampler leaks
+// nothing (the server shutdown test pins this).
+type Sampler struct {
+	interval time.Duration
+	samples  []metrics.Sample
+	gauges   []samplerGauge
+	runner   *pool.Runner
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// samplerGauge binds one runtime sample to its registry outputs.
+type samplerGauge struct {
+	sample int // index into s.samples
+	value  *Gauge
+	// quantiles is non-nil for histogram-kind samples: one gauge per
+	// samplerQuantiles entry.
+	quantiles []*Gauge
+}
+
+// NewSampler registers the runtime families on reg and returns an unstarted
+// sampler. interval <= 0 defaults to 10s.
+func NewSampler(reg *Registry, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	s := &Sampler{interval: interval, stop: make(chan struct{})}
+	seen := make(map[string]bool)
+	for _, rs := range runtimeSamples {
+		if seen[rs.metric] || !runtimeMetricSupported(rs.name) {
+			continue
+		}
+		idx := len(s.samples)
+		s.samples = append(s.samples, metrics.Sample{Name: rs.name})
+		sg := samplerGauge{sample: idx}
+		if runtimeMetricKind(rs.name) == metrics.KindFloat64Histogram {
+			for _, sq := range samplerQuantiles {
+				sg.quantiles = append(sg.quantiles,
+					reg.Gauge(rs.metric, runtimeHelp(rs.metric), Label{Key: "quantile", Value: sq.label}))
+			}
+		} else {
+			sg.value = reg.Gauge(rs.metric, runtimeHelp(rs.metric))
+		}
+		s.gauges = append(s.gauges, sg)
+		seen[rs.metric] = true
+	}
+	return s
+}
+
+// runtimeHelp maps an exposition family to its HELP line.
+func runtimeHelp(metric string) string {
+	switch metric {
+	case "go_goroutines":
+		return "Number of live goroutines."
+	case "go_heap_objects_bytes":
+		return "Bytes of memory occupied by live heap objects."
+	case "go_memory_total_bytes":
+		return "Total bytes of memory mapped by the Go runtime."
+	case "go_gc_cycles_total":
+		return "Completed GC cycles since process start."
+	case "go_gc_pause_seconds":
+		return "Distribution of stop-the-world GC pause latencies (sampled quantiles)."
+	case "go_sched_latency_seconds":
+		return "Distribution of goroutine scheduling latencies (sampled quantiles)."
+	}
+	return "Runtime metric."
+}
+
+// runtimeMetricSupported probes whether this toolchain exports name.
+func runtimeMetricSupported(name string) bool {
+	probe := []metrics.Sample{{Name: name}}
+	metrics.Read(probe)
+	return probe[0].Value.Kind() != metrics.KindBad
+}
+
+// runtimeMetricKind returns the value kind the toolchain reports for name.
+func runtimeMetricKind(name string) metrics.ValueKind {
+	probe := []metrics.Sample{{Name: name}}
+	metrics.Read(probe)
+	return probe[0].Value.Kind()
+}
+
+// Start samples once immediately, then begins the polling loop. Calling
+// Start on an already-started or stopped sampler is a programming error.
+func (s *Sampler) Start() {
+	if s.runner != nil {
+		panic("telemetry: Sampler.Start: already started")
+	}
+	s.SampleOnce()
+	s.runner = pool.NewRunner(1, 1)
+	s.runner.Submit(func() {
+		ticker := time.NewTicker(s.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				s.SampleOnce()
+			}
+		}
+	})
+}
+
+// Stop terminates the polling loop and blocks until it has exited. Stop is
+// idempotent and safe on a never-started sampler.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.runner != nil {
+		s.runner.Close()
+	}
+}
+
+// SampleOnce reads every supported runtime metric and updates the gauges.
+func (s *Sampler) SampleOnce() {
+	if len(s.samples) == 0 {
+		return
+	}
+	metrics.Read(s.samples)
+	for _, sg := range s.gauges {
+		v := s.samples[sg.sample].Value
+		if sg.quantiles != nil {
+			h := v.Float64Histogram()
+			if h == nil {
+				continue
+			}
+			for i, sq := range samplerQuantiles {
+				sg.quantiles[i].Set(histQuantile(h, sq.q))
+			}
+			continue
+		}
+		switch v.Kind() {
+		case metrics.KindUint64:
+			sg.value.Set(float64(v.Uint64()))
+		case metrics.KindFloat64:
+			sg.value.Set(v.Float64())
+		}
+	}
+}
+
+// histQuantile estimates the q-quantile of a runtime/metrics histogram,
+// returning the upper boundary of the covering bucket (finite boundaries
+// preferred; an empty histogram reports 0).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total-1))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if c == 0 || cum <= rank {
+			continue
+		}
+		// Counts[i] covers [Buckets[i], Buckets[i+1]); report the upper
+		// bound, falling back to the lower when it is not finite.
+		hi := h.Buckets[i+1]
+		if math.IsInf(hi, 0) || math.IsNaN(hi) {
+			lo := h.Buckets[i]
+			if math.IsInf(lo, 0) || math.IsNaN(lo) {
+				return 0
+			}
+			return lo
+		}
+		return hi
+	}
+	return 0
+}

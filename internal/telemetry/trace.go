@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PhaseSpan is one entry of a request's span timeline: a named phase with
+// its start offset from the request start and its duration, both in
+// microseconds. Spans are sequential — the serving path is a pipeline
+// (admission -> decode -> cache -> build -> solve -> encode), so ending one
+// phase starts the next and the timeline reads as a flame graph with one
+// lane.
+type PhaseSpan struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// Trace is a request-scoped span timeline. Traces are pooled: the serving
+// middleware acquires one per request and releases it after the slow-log
+// decision, so steady-state tracing performs no allocations (the spans
+// slice keeps its capacity across requests — the zero-overhead guard
+// benchmark in cmd/benchreport pins this at allocs/op delta = 0).
+//
+// A nil *Trace is the documented "tracing off" value: every method no-ops,
+// mirroring the nil-Recorder discipline of internal/obs.
+type Trace struct {
+	id    string
+	start time.Time
+	spans []PhaseSpan
+	open  bool // spans[len(spans)-1] is still running
+}
+
+var tracePool = sync.Pool{New: func() any {
+	return &Trace{spans: make([]PhaseSpan, 0, 16)}
+}}
+
+// AcquireTrace returns a pooled trace for one request, anchored at start.
+func AcquireTrace(id string, start time.Time) *Trace {
+	t := tracePool.Get().(*Trace)
+	t.id = id
+	t.start = start
+	t.spans = t.spans[:0]
+	t.open = false
+	return t
+}
+
+// Release resets t and returns it to the pool. The caller must not use t
+// (or any spans slice obtained from it) afterwards.
+func (t *Trace) Release() {
+	if t == nil {
+		return
+	}
+	t.id = ""
+	tracePool.Put(t)
+}
+
+// ID returns the request ID the trace was acquired with ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Phase ends the open span (if any) and starts a new one named name.
+func (t *Trace) Phase(name string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.closeAt(now)
+	t.spans = append(t.spans, PhaseSpan{Name: name, StartUS: now.Sub(t.start).Microseconds()})
+	t.open = true
+}
+
+// End closes the open span without starting another.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	t.closeAt(time.Now())
+}
+
+func (t *Trace) closeAt(now time.Time) {
+	if !t.open {
+		return
+	}
+	sp := &t.spans[len(t.spans)-1]
+	sp.DurUS = now.Sub(t.start).Microseconds() - sp.StartUS
+	t.open = false
+}
+
+// Spans closes the open span and returns the timeline. The slice aliases
+// the trace's storage: read it before Release and do not retain it.
+func (t *Trace) Spans() []PhaseSpan {
+	if t == nil {
+		return nil
+	}
+	t.End()
+	return t.spans
+}
+
+// traceKey is the context key type for the request trace.
+type traceKey struct{}
+
+// WithTrace attaches t to ctx. A nil t is attached as-is so the serving
+// path performs the same context operations whether tracing is on or off —
+// that symmetry is what lets the guard benchmark assert a zero delta.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil. The nil result is
+// usable: all Trace methods tolerate a nil receiver.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// Request IDs: a per-process random prefix plus a sequence number —
+// "4f1c9a2b-17". Unique across restarts (fresh prefix) and trivially
+// sortable within one process, at the cost of one small string allocation
+// and no syscalls on the serving path.
+var (
+	reqIDPrefix = newReqIDPrefix()
+	reqIDSeq    atomic.Int64
+)
+
+func newReqIDPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// No entropy source: fall back to the PID so IDs stay distinct
+		// between concurrently started processes.
+		return "p" + strconv.Itoa(os.Getpid())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewRequestID returns a fresh X-Request-Id value.
+func NewRequestID() string {
+	buf := make([]byte, 0, len(reqIDPrefix)+12)
+	buf = append(buf, reqIDPrefix...)
+	buf = append(buf, '-')
+	buf = strconv.AppendInt(buf, reqIDSeq.Add(1), 10)
+	return string(buf)
+}
+
+// maxRequestIDLen bounds accepted client-supplied IDs.
+const maxRequestIDLen = 128
+
+// ValidRequestID reports whether a client-supplied X-Request-Id is safe to
+// propagate: non-empty, bounded, and printable ASCII without spaces, so it
+// can be embedded in NDJSON logs and response headers verbatim.
+func ValidRequestID(s string) bool {
+	if s == "" || len(s) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] > '~' || s[i] == '"' || s[i] == '\\' {
+			return false
+		}
+	}
+	return true
+}
