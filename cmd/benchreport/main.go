@@ -9,21 +9,31 @@
 // Entries are emitted in a fixed order (no map iteration feeds the file),
 // so two runs on the same machine differ only in the timing fields.
 //
+// The -hotpath-report flag turns the command into a cross-check instead of
+// a benchmark run: it reads the output of `scglint -hotpath-report` and
+// asserts that the set of //scglint:hotpath-annotated kernels equals the set
+// of kernels these benchmarks actually drive, so the static analysis and the
+// measured reality cannot drift apart silently.
+//
 // Examples:
 //
 //	benchreport -out BENCH_baseline.json
 //	benchreport -quick -out bench_smoke.json   # CI smoke: k <= 8, 1 round
+//	scglint -hotpath-report | benchreport -hotpath-report -
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/perm"
@@ -70,12 +80,16 @@ func main() {
 		rounds      = flag.Int("rounds", 3, "rounds per BFS benchmark (best-of is not used; the mean is reported)")
 		quick       = flag.Bool("quick", false, "CI smoke mode: k <= 8, one round, fewer kernel iterations")
 		workers     = flag.Int("workers", 0, "parallel BFS worker count (0 = GOMAXPROCS)")
+		hotpaths    = flag.String("hotpath-report", "", "cross-check mode: read `scglint -hotpath-report` output from this file (- for stdin) and assert the annotated kernel set matches the benchmarked set")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String("benchreport"))
 		return
+	}
+	if *hotpaths != "" {
+		os.Exit(crossCheckHotpaths(*hotpaths))
 	}
 	if *quick {
 		if *maxK > 8 {
@@ -126,6 +140,79 @@ func main() {
 	}
 	fail(os.WriteFile(*out, enc, 0o644))
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Entries))
+}
+
+// benchedHotpaths is the set of //scglint:hotpath-annotated functions these
+// benchmarks exercise: the rank and compose kernels (rankKernels and every
+// BFS edge), the two BFS engine inner loops (bfsPair), and the warm-route
+// distance overlay (telemetryGuard's /v1/route traffic). perm.Rank is the
+// deliberately unannotated O(k²) reference, so it is absent. If an
+// annotation is added or removed, this list and the benchmark that drives
+// the kernel must move together — the -hotpath-report cross-check fails CI
+// otherwise.
+var benchedHotpaths = []string{
+	"repro/internal/core.(*bfsWorker).expandShard",
+	"repro/internal/core.(*serialBFS).expandNode",
+	"repro/internal/perm.(Perm).ComposeInto",
+	"repro/internal/perm.(Perm).RankBits",
+	"repro/internal/perm.(Perm).RankInto",
+	"repro/internal/perm.UnrankInto",
+	"repro/internal/server.routeDistance",
+}
+
+// crossCheckHotpaths compares the annotated kernel set from a
+// `scglint -hotpath-report` dump (one `id<TAB>pos<TAB>reason` line per
+// root) against benchedHotpaths and reports the difference in both
+// directions. Returns the process exit code.
+func crossCheckHotpaths(path string) int {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		return 1
+	}
+	annotated := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		id, _, _ := strings.Cut(line, "\t")
+		annotated[id] = true
+	}
+	benched := make(map[string]bool, len(benchedHotpaths))
+	for _, id := range benchedHotpaths {
+		benched[id] = true
+	}
+	var unbenched, unannotated []string
+	for id := range annotated {
+		if !benched[id] {
+			unbenched = append(unbenched, id)
+		}
+	}
+	for _, id := range benchedHotpaths {
+		if !annotated[id] {
+			unannotated = append(unannotated, id)
+		}
+	}
+	sort.Strings(unbenched)
+	sort.Strings(unannotated)
+	for _, id := range unbenched {
+		fmt.Fprintf(os.Stderr, "benchreport: hotpath %s is annotated but no benchmark drives it\n", id)
+	}
+	for _, id := range unannotated {
+		fmt.Fprintf(os.Stderr, "benchreport: kernel %s is benchmarked but carries no //scglint:hotpath annotation\n", id)
+	}
+	if len(unbenched) > 0 || len(unannotated) > 0 {
+		return 1
+	}
+	fmt.Printf("benchreport: %d hotpath kernel(s) verified against the benchmark set\n", len(annotated))
+	return 0
 }
 
 // rankKernels times the three rank implementations on one fixed k = 10

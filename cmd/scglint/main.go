@@ -1,13 +1,20 @@
-// Command scglint is the project's static-analysis suite: ten custom
+// Command scglint is the project's static-analysis suite: thirteen custom
 // analyzers that machine-check the repository's correctness conventions
 // using only the standard library's go/ast, go/parser, go/token, and
 // go/types. Six guard sequential conventions (permalias, panicstyle,
-// nilrecorder, droppederr, simhygiene, mapdeterminism); four are
+// nilrecorder, droppederr, simhygiene, mapdeterminism); five are
 // concurrency-aware (goroutinecapture, atomicmix, waitgrouplint,
-// boundedspawn), enforcing the parallel measurement engine's discipline:
-// no shared scratch captured by concurrent closures, no mixed
-// atomic/plain access, Add-before-spawn / Done-in-defer, and all
-// goroutine fan-out routed through the audited internal/pool chokepoint.
+// boundedspawn, telemetrylabel), enforcing the parallel measurement
+// engine's discipline: no shared scratch captured by concurrent closures,
+// no mixed atomic/plain access, Add-before-spawn / Done-in-defer, all
+// goroutine fan-out routed through the audited internal/pool chokepoint,
+// and statically auditable metric cardinality. Two are interprocedural
+// (hotalloc, ctxflow), built on a whole-module dataflow layer: hotalloc
+// proves the //scglint:hotpath-annotated kernels — and everything they
+// reach through the intra-module call graph — free of allocating
+// constructs, and ctxflow proves context.Context values thread through to
+// every context-accepting callee with no undeclared context.Background()
+// roots in the serving paths.
 //
 // Usage:
 //
@@ -18,6 +25,9 @@
 //	go run ./cmd/scglint -fix ./...           # apply suggested fixes
 //	go run ./cmd/scglint -only permalias,droppederr ./...
 //	go run ./cmd/scglint -list -v
+//	go run ./cmd/scglint -callgraph           # dump the hot call graph
+//	go run ./cmd/scglint -hotpath-report      # id/position/reason of hot roots
+//	go run ./cmd/scglint -facts-cache .scglint-facts ./...   # warm-run cache
 //
 // The driver exits 0 when the tree is clean, 1 when findings were reported,
 // and 2 when the module could not be loaded or the flags are invalid.
@@ -31,7 +41,12 @@
 //
 //	//scglint:ignore <analyzer> <reason>
 //
-// Unused or malformed directives are themselves findings.
+// The interprocedural analyzers read three more directives, all with
+// mandatory reasons: //scglint:hotpath <why> marks a function a hot-path
+// root, //scglint:coldpath <why> cuts call-graph edges into a function (or,
+// on a statement, exempts that statement's allocations), and
+// //scglint:ctxdetach <why> sanctions a deliberate context detach. Unused
+// or malformed directives are themselves findings.
 package main
 
 import (

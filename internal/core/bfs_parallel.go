@@ -24,6 +24,26 @@ type bfsWorker struct {
 	out       []int64
 }
 
+// expandShard expands one contiguous frontier shard with the worker's
+// private buffers, claiming newly reached nodes by an atomic
+// compare-and-swap on the shared distance array (-1 -> d) and collecting
+// the winners into the worker's local next-frontier slice.
+//
+//scglint:hotpath per-shard edge kernel of the parallel engine: unrank + compose + popcount rank + CAS per probe
+func (w *bfsWorker) expandShard(g *Graph, part []int64, dist []int32, d int32, k int) {
+	w.out = w.out[:0]
+	for _, r := range part {
+		perm.UnrankInto(k, r, w.cur, w.scratch)
+		for _, gp := range g.genPerms {
+			w.cur.ComposeInto(gp, w.next)
+			nr := w.next.RankBits()
+			if atomic.CompareAndSwapInt32(&dist[nr], -1, d) {
+				w.out = append(w.out, nr) //scglint:coldpath local frontier buffer is reused across levels and reaches steady capacity once the frontier peaks
+			}
+		}
+	}
+}
+
 // BFSParallel is the level-synchronous parallel BFS engine. workers <= 0
 // means runtime.GOMAXPROCS(0).
 //
@@ -95,18 +115,7 @@ func (g *Graph) BFSParallel(src perm.Perm, workers int) (*BFSResult, error) {
 			if hi > len(part) {
 				hi = len(part)
 			}
-			w := ws[wi]
-			w.out = w.out[:0]
-			for _, r := range part[lo:hi] {
-				perm.UnrankInto(k, r, w.cur, w.scratch)
-				for _, gp := range g.genPerms {
-					w.cur.ComposeInto(gp, w.next)
-					nr := w.next.RankBits()
-					if atomic.CompareAndSwapInt32(&dist[nr], -1, d) {
-						w.out = append(w.out, nr)
-					}
-				}
-			}
+			ws[wi].expandShard(g, part[lo:hi], dist, d, k)
 		})
 		next := spare[:0]
 		for wi := 0; wi < shards; wi++ {

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Debug output modes of the dataflow engine: -callgraph renders the hot
+// call graph as an indented tree, -hotpath-report lists the annotated
+// roots in a machine-parsable form (cmd/benchreport cross-checks it
+// against the benchmarked kernel set).
+
+// WriteHotpathReport prints one tab-separated line per hotpath root:
+// function ID, defining position, annotation reason.
+func WriteHotpathReport(w io.Writer, m *Module) {
+	mf := m.ensureFacts()
+	for _, pkgPath := range sortedPkgPaths(mf) {
+		pf := mf.byPath[pkgPath]
+		for _, id := range pf.FuncIDs {
+			ff := pf.Funcs[id]
+			if ff.Hotpath == "" {
+				continue
+			}
+			_, _ = fmt.Fprintf(w, "%s\t%s:%d\t%s\n", ff.ID, ff.Pos.File, ff.Pos.Line, ff.Hotpath)
+		}
+	}
+}
+
+// WriteCallGraph renders the call graph reachable from every hotpath root
+// as an indented tree. Cut edges, allowlisted standard-library calls, and
+// repeat visits are annotated rather than expanded.
+func WriteCallGraph(w io.Writer, m *Module) {
+	mf := m.ensureFacts()
+	depthMax := m.HotpathDepth
+	if depthMax <= 0 {
+		depthMax = defaultHotpathDepth
+	}
+	var roots []string
+	for _, pkgPath := range sortedPkgPaths(mf) {
+		pf := mf.byPath[pkgPath]
+		for _, id := range pf.FuncIDs {
+			if pf.Funcs[id].Hotpath != "" {
+				roots = append(roots, id)
+			}
+		}
+	}
+	sort.Strings(roots)
+	for _, root := range roots {
+		ref := mf.fn[root]
+		_, _ = fmt.Fprintf(w, "%s (%s:%d) hotpath: %s\n",
+			ref.ff.ID, ref.ff.Pos.File, ref.ff.Pos.Line, ref.ff.Hotpath)
+		writeCallTree(w, mf, ref, 1, depthMax, map[string]bool{root: true})
+	}
+}
+
+func writeCallTree(w io.Writer, mf *moduleFacts, ref funcRef, depth, depthMax int, seen map[string]bool) {
+	indent := func() {
+		for i := 0; i < depth; i++ {
+			_, _ = io.WriteString(w, "  ")
+		}
+	}
+	for _, cs := range ref.ff.Calls {
+		indent()
+		if cs.CutAnn > 0 {
+			_, _ = fmt.Fprintf(w, "-> %s [cut: coldpath]\n", cs.Display)
+			continue
+		}
+		switch cs.Class {
+		case "dynamic":
+			_, _ = fmt.Fprintf(w, "-> %s [dynamic]\n", cs.Display)
+		case "std":
+			note := "std"
+			if hotStdAllowlist[cs.CalleePkg] {
+				note = "std, allowlisted"
+			}
+			_, _ = fmt.Fprintf(w, "-> %s [%s]\n", cs.Display, note)
+		case "internal":
+			calleeID := funcID(cs.CalleePkg, cs.CalleeName)
+			cref, ok := mf.fn[calleeID]
+			switch {
+			case !ok:
+				_, _ = fmt.Fprintf(w, "-> %s [no body]\n", cs.Display)
+			case cref.ff.Coldpath:
+				_, _ = fmt.Fprintf(w, "-> %s [cut: coldpath function]\n", cs.Display)
+			case seen[calleeID]:
+				_, _ = fmt.Fprintf(w, "-> %s [repeat]\n", cs.Display)
+			case depth >= depthMax:
+				_, _ = fmt.Fprintf(w, "-> %s [depth bound, may_alloc=%v]\n", cs.Display, cref.ff.MayAlloc)
+			default:
+				_, _ = fmt.Fprintf(w, "-> %s\n", cs.Display)
+				seen[calleeID] = true
+				writeCallTree(w, mf, cref, depth+1, depthMax, seen)
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package lint
+
+// ctxflow: context plumbing must not silently fork. Two rules:
+//
+//  1. Dropped context (module-wide): a function that receives a
+//     context.Context must pass a value derived from it to every callee
+//     that accepts one. "Derived" propagates through assignments
+//     (sctx := context.WithTimeout(ctx, d)) and context-returning
+//     accessors (req.Context()).
+//  2. Fresh roots (scoped): context.Background() / context.TODO() outside
+//     main and init is a finding in internal/server, internal/telemetry,
+//     and the cmd daemons — the packages whose deadline and trace
+//     propagation PR 6 wired end-to-end.
+//
+// //scglint:ctxdetach <reason> sanctions a deliberate detach point (an
+// async job that outlives its submitting request, a graceful-shutdown
+// deadline) and blesses variables assigned on its span as derived.
+//
+// Like hotalloc, the per-package Run replays findings precomputed on the
+// module facts store.
+var analyzerCtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions receiving a context.Context must thread it to every context-accepting callee; no fresh context roots in server/telemetry/daemon code outside main/init",
+	Run: func(p *Package, report Reporter) {
+		replayFactDiags(p, "ctxflow", report)
+	},
+	needsFacts: true,
+}

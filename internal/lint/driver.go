@@ -37,8 +37,13 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		skip     = fs.String("skip", "", "comma-separated analyzers to skip")
 		list     = fs.Bool("list", false, "list analyzers and exit")
 		chdir    = fs.String("C", ".", "directory whose enclosing module is analyzed")
-		showDocs = fs.Bool("v", false, "with -list, include analyzer documentation")
+		showDocs = fs.Bool("v", false, "with -list, include analyzer documentation; with analysis, print facts-cache statistics")
 		showVer  = fs.Bool("version", false, "print version and exit")
+
+		callGraph  = fs.Bool("callgraph", false, "print the hot call graph (from //scglint:hotpath roots) and exit")
+		hotReport  = fs.Bool("hotpath-report", false, "list //scglint:hotpath roots (id, position, reason) and exit")
+		factsCache = fs.String("facts-cache", "", "directory for the on-disk facts cache (warm runs skip unchanged packages)")
+		hotDepth   = fs.Int("hotpath-depth", 0, "call-graph depth bound for hotalloc (default 8)")
 	)
 	fs.Usage = func() {
 		_, _ = fmt.Fprintf(stderr, "usage: scglint [flags] [packages]\n\n")
@@ -64,17 +69,17 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return ExitClean
 	}
 	exclusive := 0
-	for _, on := range []bool{*jsonOut, *sarifOut, *diffOut} {
+	for _, on := range []bool{*jsonOut, *sarifOut, *diffOut, *callGraph, *hotReport} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		_, _ = fmt.Fprintln(stderr, "scglint: -json, -sarif, and -diff are mutually exclusive")
+		_, _ = fmt.Fprintln(stderr, "scglint: -json, -sarif, -diff, -callgraph, and -hotpath-report are mutually exclusive")
 		return ExitError
 	}
-	if *applyFix && (*jsonOut || *sarifOut) {
-		_, _ = fmt.Fprintln(stderr, "scglint: -fix cannot be combined with -json or -sarif")
+	if *applyFix && (*jsonOut || *sarifOut || *callGraph || *hotReport) {
+		_, _ = fmt.Fprintln(stderr, "scglint: -fix cannot be combined with -json, -sarif, -callgraph, or -hotpath-report")
 		return ExitError
 	}
 	analyzers, err := selectAnalyzers(*only, *skip)
@@ -87,7 +92,22 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		_, _ = fmt.Fprintln(stderr, "scglint:", err)
 		return ExitError
 	}
+	m.FactsCacheDir = *factsCache
+	m.HotpathDepth = *hotDepth
+	if *callGraph {
+		WriteCallGraph(stdout, m)
+		return ExitClean
+	}
+	if *hotReport {
+		WriteHotpathReport(stdout, m)
+		return ExitClean
+	}
 	findings := Run(m, analyzers)
+	if *showDocs && *factsCache != "" {
+		stats := m.FactsInfo()
+		_, _ = fmt.Fprintf(stderr, "scglint: facts: %d package(s) analyzed, %d from cache\n",
+			len(stats.Computed), len(stats.Cached))
+	}
 	switch {
 	case *jsonOut:
 		enc := json.NewEncoder(stdout)

@@ -1,0 +1,588 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/pool"
+)
+
+// The interprocedural dataflow layer.
+//
+// Per-package facts (which constructs allocate, which calls drop a
+// context) are extracted bottom-up over the import DAG — packages of the
+// same DAG level in parallel via pool.Map — then two module-level passes
+// consume them: the hot walk (hotalloc) follows the call graph from every
+// //scglint:hotpath root, and the context assembly (ctxflow) applies the
+// scoping rules to the recorded violations. Facts are plain data (no AST
+// pointers), so a package's facts can be cached on disk keyed by file
+// content and reloaded on warm runs without re-walking its sources.
+
+// defaultHotpathDepth bounds the hot walk when Module.HotpathDepth is
+// unset: deep enough for every real kernel chain, small enough that an
+// accidental annotation on a dispatcher cannot drag the whole module in.
+const defaultHotpathDepth = 8
+
+// hotStdAllowlist names the standard-library packages whose functions are
+// allocation-free by contract and therefore callable from hot code.
+var hotStdAllowlist = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync":        true,
+	"sync/atomic": true,
+	"unsafe":      true,
+	"runtime":     true,
+	"time":        true,
+}
+
+// ctxScopedPkgs are the path suffixes where a fresh context root
+// (context.Background / context.TODO) outside main or init is a finding;
+// dropped-context findings apply module-wide.
+var ctxScopedPkgs = []string{"internal/server", "internal/telemetry", "cmd/scgd", "cmd/scgload"}
+
+// sitePos is a module-relative source position. Facts are cached across
+// processes, so positions must survive token.FileSet reconstruction:
+// file + line + column are stable as long as the file content is, and the
+// cache key guarantees exactly that.
+type sitePos struct {
+	File string `json:"file"` // module-relative, slash-separated
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// sitePosAt converts a fileset position into a module-relative sitePos.
+func (m *Module) sitePosAt(pos token.Pos) sitePos {
+	position := m.Fset.Position(pos)
+	rel, err := filepath.Rel(m.Dir, position.Filename)
+	if err != nil {
+		rel = position.Filename
+	}
+	return sitePos{File: filepath.ToSlash(rel), Line: position.Line, Col: position.Column}
+}
+
+// tokenPos maps a sitePos back into the live fileset so cached facts can
+// be reported through the ordinary Reporter path.
+func (m *Module) tokenPos(sp sitePos) token.Pos {
+	m.fileOnce.Do(func() {
+		m.fileByName = make(map[string]*token.File)
+		m.Fset.Iterate(func(f *token.File) bool {
+			m.fileByName[f.Name()] = f
+			return true
+		})
+	})
+	f := m.fileByName[filepath.Join(m.Dir, filepath.FromSlash(sp.File))]
+	if f == nil || sp.Line < 1 || sp.Line > f.LineCount() {
+		return token.NoPos
+	}
+	pos := f.LineStart(sp.Line) + token.Pos(sp.Col-1)
+	if max := token.Pos(f.Base() + f.Size()); pos > max {
+		pos = max
+	}
+	return pos
+}
+
+// factDiag is one pre-positioned diagnostic carried inside the facts store
+// (walk findings, malformed/unused directives), replayed per package by the
+// analyzer that owns it.
+type factDiag struct {
+	Pos      sitePos `json:"pos"`
+	Analyzer string  `json:"analyzer"`
+	Message  string  `json:"message"`
+	Hint     string  `json:"hint,omitempty"`
+}
+
+// allocSite is one allocating construct inside a function body.
+type allocSite struct {
+	Pos sitePos `json:"pos"`
+	// What is the rendered description ("make(...) allocates").
+	What string `json:"what"`
+	// CutAnn, when non-zero, is 1 + the index of the statement-level
+	// coldpath annotation (in pkgFacts.Annotations) covering this site.
+	CutAnn int `json:"cut_ann,omitempty"`
+	// ParentCall, when non-zero, is 1 + the index (in funcFacts.Calls) of
+	// the call this interface-boxing site belongs to; if that call is
+	// itself flagged, the boxing site is folded into its finding.
+	ParentCall int `json:"parent_call,omitempty"`
+}
+
+// callSite is one outgoing call edge.
+type callSite struct {
+	Pos sitePos `json:"pos"`
+	// Class is "internal" (module function, facts available), "std"
+	// (standard library), or "dynamic" (func value, interface method).
+	Class string `json:"class"`
+	// CalleePkg + CalleeName identify the callee for internal and std
+	// calls (CalleeName uses the "(Recv).Name" form for methods).
+	CalleePkg  string `json:"callee_pkg,omitempty"`
+	CalleeName string `json:"callee_name,omitempty"`
+	// Display is the human-readable callee for messages.
+	Display string `json:"display"`
+	// CutAnn: as in allocSite.
+	CutAnn int `json:"cut_ann,omitempty"`
+}
+
+// ctxViolation is one recorded context-flow violation.
+type ctxViolation struct {
+	Pos sitePos `json:"pos"`
+	// Kind is "drop" (caller has a ctx, callee accepts one, a non-derived
+	// value is passed) or "background" (fresh context root).
+	Kind string `json:"kind"`
+	What string `json:"what"`
+	// SanctionAnn, when non-zero, is 1 + the index of the ctxdetach
+	// annotation sanctioning this violation.
+	SanctionAnn int `json:"sanction_ann,omitempty"`
+}
+
+// funcFacts is the per-function summary the module passes consume.
+type funcFacts struct {
+	// ID is the module-unique identifier: <pkg path>.<name>, name in the
+	// "(Recv).Name" form for methods.
+	ID   string  `json:"id"`
+	Name string  `json:"name"`
+	Pos  sitePos `json:"pos"`
+	// HasCtx reports a context.Context parameter somewhere in the
+	// signature (including parameters of nested function literals).
+	HasCtx     bool `json:"has_ctx,omitempty"`
+	MainOrInit bool `json:"main_or_init,omitempty"`
+	// Hotpath is the annotation reason when this function is a hot root.
+	Hotpath string `json:"hotpath,omitempty"`
+	// Coldpath cuts every call edge into this function; ColdAnn is 1 + the
+	// annotation index so the hot walk can mark the directive used.
+	Coldpath bool `json:"coldpath,omitempty"`
+	ColdAnn  int  `json:"cold_ann,omitempty"`
+	// MayAlloc is the transitive summary: this function, or something it
+	// (un-cut) reaches, allocates. Used beyond the hot-walk depth bound.
+	MayAlloc bool `json:"may_alloc,omitempty"`
+
+	Allocs        []allocSite    `json:"allocs,omitempty"`
+	Calls         []callSite     `json:"calls,omitempty"`
+	CtxViolations []ctxViolation `json:"ctx,omitempty"`
+}
+
+// pkgFacts is the serializable facts record of one package.
+type pkgFacts struct {
+	Path        string                `json:"path"`
+	Funcs       map[string]*funcFacts `json:"funcs"`
+	FuncIDs     []string              `json:"func_ids"` // sorted, for deterministic passes
+	Annotations []*annotation         `json:"annotations,omitempty"`
+	Diags       []factDiag            `json:"diags,omitempty"` // malformed directives
+}
+
+// cutAt returns 1 + the index of a statement-anchored annotation of the
+// given kind covering file:line, or 0.
+func (pf *pkgFacts) cutAt(kind, file string, line int) int {
+	for i, ann := range pf.Annotations {
+		if ann.Kind == kind && ann.FuncID == "" && ann.Pos.File == file && line >= ann.Lo && line <= ann.Hi {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// funcRef pairs a function summary with its owning package facts.
+type funcRef struct {
+	pf *pkgFacts
+	ff *funcFacts
+}
+
+// moduleFacts is the in-memory facts store of one loaded module, built
+// once per Module (see ensureFacts) and shared by every subsequent Run.
+type moduleFacts struct {
+	byPath map[string]*pkgFacts
+	fn     map[string]funcRef
+	// findings holds the precomputed hotalloc/ctxflow diagnostics keyed by
+	// package path; analyzer Run methods replay their own subset.
+	findings map[string][]factDiag
+	stats    FactsStats
+}
+
+// FactsStats reports, per facts build, which packages were re-analyzed and
+// which were served from the on-disk cache (empty unless a cache dir is
+// configured).
+type FactsStats struct {
+	Computed []string `json:"computed"`
+	Cached   []string `json:"cached"`
+}
+
+func (mf *moduleFacts) addFinding(pkgPath string, d factDiag) {
+	mf.findings[pkgPath] = append(mf.findings[pkgPath], d)
+}
+
+// ensureFacts builds (or returns) the module's facts store. Safe for
+// concurrent use; the build itself parallelizes over DAG levels.
+func (m *Module) ensureFacts() *moduleFacts {
+	m.factsOnce.Do(func() { m.facts = buildFacts(m) })
+	return m.facts
+}
+
+// FactsInfo exposes the cache statistics of the facts build (building the
+// store first if needed): the invalidation tests and the driver's -v
+// output both read it.
+func (m *Module) FactsInfo() FactsStats {
+	return m.ensureFacts().stats
+}
+
+// internalDeps lists p's module-internal imports, sorted.
+func internalDeps(m *Module, p *Package) []string {
+	var out []string
+	for _, im := range p.Types.Imports() {
+		ip := im.Path()
+		if ip == m.Path || strings.HasPrefix(ip, m.Path+"/") {
+			out = append(out, ip)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildFacts extracts per-package facts bottom-up over the import DAG
+// (levels in parallel), then runs the module-level hot walk and context
+// assembly.
+func buildFacts(m *Module) *moduleFacts {
+	mf := &moduleFacts{
+		byPath:   make(map[string]*pkgFacts),
+		fn:       make(map[string]funcRef),
+		findings: make(map[string][]factDiag),
+	}
+	byPath := make(map[string]*Package, len(m.Packages))
+	for _, p := range m.Packages {
+		byPath[p.Path] = p
+	}
+
+	// DAG depth per package: 0 for leaves, 1 + max over internal deps.
+	depth := make(map[string]int)
+	var depthOf func(p *Package) int
+	depthOf = func(p *Package) int {
+		if d, ok := depth[p.Path]; ok {
+			return d
+		}
+		depth[p.Path] = 0 // cycle guard; Load rejects real cycles
+		d := 0
+		for _, dep := range internalDeps(m, p) {
+			if dp := byPath[dep]; dp != nil {
+				if dd := depthOf(dp) + 1; dd > d {
+					d = dd
+				}
+			}
+		}
+		depth[p.Path] = d
+		return d
+	}
+	maxDepth := 0
+	for _, p := range m.Packages {
+		if d := depthOf(p); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]*Package, maxDepth+1)
+	for _, p := range m.Packages {
+		levels[depth[p.Path]] = append(levels[depth[p.Path]], p)
+	}
+
+	cache := newFactsCache(m.FactsCacheDir)
+	keys := make(map[string]string)
+	if cache != nil {
+		// Keys are transitive (each key hashes its deps' keys), so they are
+		// computed in DAG order before any extraction.
+		for _, lv := range levels {
+			for _, p := range lv {
+				keys[p.Path] = cache.key(m, p, internalDeps(m, p), keys)
+			}
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	var mu sync.Mutex
+	for _, lv := range levels {
+		lv := lv
+		computed := make([]bool, len(lv))
+		// pool.Map cannot fail here: extraction is pure and fn returns nil.
+		_, _ = pool.Map(len(lv), workers, func(i int) (struct{}, error) {
+			p := lv[i]
+			pf, hit := cache.load(keys[p.Path])
+			if !hit {
+				pf = extractPackageFacts(m, p)
+				computed[i] = true
+			}
+			mu.Lock()
+			mf.byPath[p.Path] = pf
+			mu.Unlock()
+			return struct{}{}, nil
+		})
+		// MayAlloc needs the level's deps (all in earlier levels) plus an
+		// in-package fixed point, then the completed record is cached.
+		for i, p := range lv {
+			pf := mf.byPath[p.Path]
+			if computed[i] {
+				computeMayAlloc(mf, pf)
+				cache.store(keys[p.Path], pf)
+				mf.stats.Computed = append(mf.stats.Computed, p.Path)
+			} else {
+				mf.stats.Cached = append(mf.stats.Cached, p.Path)
+			}
+			for _, id := range pf.FuncIDs {
+				ff := pf.Funcs[id]
+				if _, dup := mf.fn[ff.ID]; !dup {
+					mf.fn[ff.ID] = funcRef{pf, ff}
+				}
+			}
+		}
+	}
+	sort.Strings(mf.stats.Computed)
+	sort.Strings(mf.stats.Cached)
+
+	runHotWalk(m, mf)
+	runCtxAssembly(m, mf)
+	sweepUnusedAnnotations(mf)
+	return mf
+}
+
+// sortedPkgPaths returns the facts store's package paths in stable order.
+func sortedPkgPaths(mf *moduleFacts) []string {
+	paths := make([]string, 0, len(mf.byPath))
+	for p := range mf.byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// funcID builds the module-unique function identifier.
+func funcID(pkgPath, name string) string { return pkgPath + "." + name }
+
+// displayName renders a function for chains and messages: package base
+// name plus the (possibly receiver-qualified) function name.
+func displayName(pkgPath, name string) string {
+	return path.Base(pkgPath) + "." + name
+}
+
+// computeMayAlloc runs the in-package fixed point over the transitive
+// "may allocate" summary; cross-package callees are resolved against the
+// already-built facts of earlier DAG levels.
+func computeMayAlloc(mf *moduleFacts, pf *pkgFacts) {
+	lookup := func(id string) *funcFacts {
+		if ff, ok := pf.Funcs[id]; ok {
+			return ff
+		}
+		if ref, ok := mf.fn[id]; ok {
+			return ref.ff
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range pf.FuncIDs {
+			ff := pf.Funcs[id]
+			if ff.MayAlloc {
+				continue
+			}
+			if funcMayAlloc(ff, lookup) {
+				ff.MayAlloc = true
+				changed = true
+			}
+		}
+	}
+}
+
+func funcMayAlloc(ff *funcFacts, lookup func(string) *funcFacts) bool {
+	for _, as := range ff.Allocs {
+		if as.CutAnn == 0 {
+			return true
+		}
+	}
+	for _, cs := range ff.Calls {
+		if cs.CutAnn != 0 {
+			continue
+		}
+		switch cs.Class {
+		case "dynamic":
+			return true
+		case "std":
+			if !hotStdAllowlist[cs.CalleePkg] {
+				return true
+			}
+		case "internal":
+			cf := lookup(funcID(cs.CalleePkg, cs.CalleeName))
+			if cf == nil {
+				return true // body-less or unresolved: assume the worst
+			}
+			if cf.Coldpath {
+				continue
+			}
+			if cf.MayAlloc {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hotItem is one call-graph node queued by the hot walk.
+type hotItem struct {
+	id    string
+	depth int
+	chain string
+}
+
+// runHotWalk BFS-walks the intra-module call graph from every hotpath
+// root, recording hotalloc findings (with the full chain from the root)
+// and marking the coldpath directives it consumes.
+func runHotWalk(m *Module, mf *moduleFacts) {
+	depthMax := m.HotpathDepth
+	if depthMax <= 0 {
+		depthMax = defaultHotpathDepth
+	}
+	visited := make(map[string]bool)
+	var queue []hotItem
+	for _, pkgPath := range sortedPkgPaths(mf) {
+		pf := mf.byPath[pkgPath]
+		for _, id := range pf.FuncIDs {
+			ff := pf.Funcs[id]
+			if ff.Hotpath != "" && !visited[ff.ID] {
+				visited[ff.ID] = true
+				queue = append(queue, hotItem{id: ff.ID, chain: displayName(pkgPath, ff.Name)})
+			}
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		ref, ok := mf.fn[it.id]
+		if !ok {
+			continue
+		}
+		ff := ref.ff
+		flagged := make(map[int]bool, 2)
+		for ci, cs := range ff.Calls {
+			if cs.CutAnn > 0 {
+				ref.pf.Annotations[cs.CutAnn-1].Used = true
+				continue
+			}
+			switch cs.Class {
+			case "dynamic":
+				mf.addFinding(ref.pf.Path, factDiag{
+					Pos: cs.Pos, Analyzer: "hotalloc",
+					Message: fmt.Sprintf("dynamic call %s in hot path [%s]", cs.Display, it.chain),
+					Hint:    "devirtualize the call, or cut the edge with //scglint:coldpath <reason>",
+				})
+				flagged[ci] = true
+			case "std":
+				if !hotStdAllowlist[cs.CalleePkg] {
+					mf.addFinding(ref.pf.Path, factDiag{
+						Pos: cs.Pos, Analyzer: "hotalloc",
+						Message: fmt.Sprintf("call to %s in hot path [%s]: package %s is not on the allocation-free allowlist", cs.Display, it.chain, cs.CalleePkg),
+						Hint:    "inline the logic or cut the edge with //scglint:coldpath <reason>",
+					})
+					flagged[ci] = true
+				}
+			case "internal":
+				calleeID := funcID(cs.CalleePkg, cs.CalleeName)
+				cref, found := mf.fn[calleeID]
+				if !found {
+					continue // declaration without body (none in this module)
+				}
+				if cref.ff.Coldpath {
+					if cref.ff.ColdAnn > 0 {
+						cref.pf.Annotations[cref.ff.ColdAnn-1].Used = true
+					}
+					continue
+				}
+				if visited[calleeID] {
+					continue
+				}
+				if it.depth+1 <= depthMax {
+					visited[calleeID] = true
+					queue = append(queue, hotItem{
+						id:    calleeID,
+						depth: it.depth + 1,
+						chain: it.chain + " -> " + displayName(cs.CalleePkg, cref.ff.Name),
+					})
+				} else if cref.ff.MayAlloc {
+					mf.addFinding(ref.pf.Path, factDiag{
+						Pos: cs.Pos, Analyzer: "hotalloc",
+						Message: fmt.Sprintf("call to %s exceeds the hot-path depth bound (%d) and may allocate [%s]", cs.Display, depthMax, it.chain),
+						Hint:    "raise -hotpath-depth, flatten the chain, or cut the edge with //scglint:coldpath <reason>",
+					})
+					flagged[ci] = true
+				}
+			}
+		}
+		for _, as := range ff.Allocs {
+			if as.CutAnn > 0 {
+				ref.pf.Annotations[as.CutAnn-1].Used = true
+				continue
+			}
+			if as.ParentCall > 0 && flagged[as.ParentCall-1] {
+				continue // folded into the flagged call's finding
+			}
+			mf.addFinding(ref.pf.Path, factDiag{
+				Pos: as.Pos, Analyzer: "hotalloc",
+				Message: fmt.Sprintf("%s in hot path [%s]", as.What, it.chain),
+				Hint:    "hoist the allocation out of the hot path, or justify it with //scglint:coldpath <reason>",
+			})
+		}
+	}
+}
+
+// runCtxAssembly turns the recorded per-function context violations into
+// findings, applying the package scoping rules, and marks the ctxdetach
+// directives that sanctioned a violation which would otherwise report.
+func runCtxAssembly(m *Module, mf *moduleFacts) {
+	for _, pkgPath := range sortedPkgPaths(mf) {
+		pf := mf.byPath[pkgPath]
+		scoped := pathHasSuffix(pkgPath, ctxScopedPkgs...)
+		for _, id := range pf.FuncIDs {
+			ff := pf.Funcs[id]
+			for _, v := range ff.CtxViolations {
+				reportable := v.Kind == "drop" || (scoped && !ff.MainOrInit)
+				if v.SanctionAnn > 0 {
+					if reportable {
+						pf.Annotations[v.SanctionAnn-1].Used = true
+					}
+					continue
+				}
+				if !reportable {
+					continue
+				}
+				hint := "thread the function's context.Context parameter through this call"
+				if v.Kind == "background" {
+					hint = "derive from an inbound context, or justify with //scglint:ctxdetach <reason>"
+				}
+				mf.addFinding(pkgPath, factDiag{Pos: v.Pos, Analyzer: "ctxflow", Message: v.What, Hint: hint})
+			}
+		}
+	}
+}
+
+// sweepUnusedAnnotations flags coldpath/ctxdetach directives no analysis
+// consumed — the same never-rots contract ignore directives have.
+func sweepUnusedAnnotations(mf *moduleFacts) {
+	for _, pkgPath := range sortedPkgPaths(mf) {
+		pf := mf.byPath[pkgPath]
+		for _, ann := range pf.Annotations {
+			if ann.Used {
+				continue
+			}
+			switch ann.Kind {
+			case annotColdpath:
+				mf.addFinding(pkgPath, factDiag{
+					Pos: ann.Pos, Analyzer: "hotalloc",
+					Message: "unused //scglint:coldpath directive (no hot path reaches it)",
+					Hint:    "delete it, or annotate the relevant root with //scglint:hotpath",
+				})
+			case annotCtxDetach:
+				mf.addFinding(pkgPath, factDiag{
+					Pos: ann.Pos, Analyzer: "ctxflow",
+					Message: "unused //scglint:ctxdetach directive (it sanctions no context violation)",
+					Hint:    "delete the directive",
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// factsSchema versions the on-disk facts format: bump it whenever the
+// extraction rules or the serialized shapes change, and every stale entry
+// misses cleanly.
+const factsSchema = "scglint-facts/v1"
+
+// factsCache is the on-disk per-package facts store. A nil *factsCache is
+// valid and always misses, so callers never branch on configuration; every
+// IO failure degrades silently to recomputation — a cache must never turn
+// a lint run into an error.
+type factsCache struct {
+	dir string
+}
+
+func newFactsCache(dir string) *factsCache {
+	if dir == "" {
+		return nil
+	}
+	return &factsCache{dir: dir}
+}
+
+// key derives the content hash identifying one package's facts: schema,
+// toolchain, package path, every file's name and content hash, and — the
+// transitive part — each direct internal dependency's key. Editing a leaf
+// file therefore changes the keys of the leaf and of every package that
+// (transitively) imports it, and nothing else.
+func (c *factsCache) key(m *Module, p *Package, deps []string, keys map[string]string) string {
+	if c == nil {
+		return ""
+	}
+	h := sha256.New()
+	_, _ = fmt.Fprintf(h, "%s\n%s\n%s\n", factsSchema, runtime.Version(), p.Path)
+	var files []string
+	for _, f := range p.Files {
+		files = append(files, m.Fset.Position(f.Pos()).Filename)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		src := m.sources[name]
+		sum := sha256.Sum256(src)
+		rel, err := filepath.Rel(m.Dir, name)
+		if err != nil {
+			rel = name
+		}
+		_, _ = fmt.Fprintf(h, "file %s %s\n", filepath.ToSlash(rel), hex.EncodeToString(sum[:]))
+	}
+	for _, dep := range deps {
+		_, _ = fmt.Fprintf(h, "dep %s %s\n", dep, keys[dep])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *factsCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// load returns the cached facts for key, or (nil, false) on any miss,
+// decode failure, or unconfigured cache.
+func (c *factsCache) load(key string) (*pkgFacts, bool) {
+	if c == nil || key == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	pf := new(pkgFacts)
+	if err := json.Unmarshal(data, pf); err != nil || pf.Path == "" {
+		return nil, false
+	}
+	if pf.Funcs == nil {
+		pf.Funcs = make(map[string]*funcFacts)
+	}
+	return pf, true
+}
+
+// store writes one package's facts under its key (atomically, via a
+// temp-file rename); failures are deliberately dropped.
+func (c *factsCache) store(key string, pf *pkgFacts) {
+	if c == nil || key == "" {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(pf)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "facts-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		_ = os.Remove(name)
+	}
+}

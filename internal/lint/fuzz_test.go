@@ -65,3 +65,53 @@ func FuzzIgnoreDirective(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAnnotationDirective does the same for the dataflow directive parser:
+// arbitrary //scglint:<verb> bodies must never panic, an ignore body must be
+// handed back to ignore.go (ok=false), and every accepted directive is
+// either well-formed (known verb, non-empty reason, no complaint) or carries
+// a malformed explanation and no reason — never both, never neither.
+func FuzzAnnotationDirective(f *testing.F) {
+	for _, seed := range []string{
+		"hotpath per-edge kernel of the BFS engines",
+		"coldpath error path may allocate",
+		"ctxdetach async job outlives the request",
+		"hotpath",
+		"coldpath ",
+		"ctxdetach\t",
+		"ignore permalias caller frees the slice",
+		"",
+		"   ",
+		"hotpathz typo verb",
+		"HOTPATH wrong case is a typo too",
+		"hotpath\treason after a tab",
+		"ctxdetach étude of a unicode reason — em dash",
+		"coldpath reason with trailing CR\r",
+		"hotpath \x00 embedded NUL",
+		strings.Repeat("h", 200) + " very long verb",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		kind, reason, malformed, ok := parseAnnotation(body)
+		if !ok {
+			if kind != "" || reason != "" || malformed != "" {
+				t.Fatalf("ignore passthrough leaked fields (%q, %q, %q): %q", kind, reason, malformed, body)
+			}
+			return
+		}
+		switch {
+		case malformed == "":
+			if kind != annotHotpath && kind != annotColdpath && kind != annotCtxDetach {
+				t.Fatalf("well-formed directive with unknown verb %q: %q", kind, body)
+			}
+			if strings.TrimSpace(reason) == "" {
+				t.Fatalf("well-formed directive with empty reason: %q", body)
+			}
+		default:
+			if reason != "" {
+				t.Fatalf("malformed directive (%s) still carries reason %q: %q", malformed, reason, body)
+			}
+		}
+	})
+}

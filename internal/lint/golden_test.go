@@ -111,3 +111,5 @@ func TestAtomicMixGolden(t *testing.T)        { runFixture(t, "atomicmix") }
 func TestWaitGroupLintGolden(t *testing.T)    { runFixture(t, "waitgrouplint") }
 func TestBoundedSpawnGolden(t *testing.T)     { runFixture(t, "boundedspawn") }
 func TestTelemetryLabelGolden(t *testing.T)   { runFixture(t, "telemetrylabel") }
+func TestHotAllocGolden(t *testing.T)         { runFixture(t, "hotalloc") }
+func TestCtxFlowGolden(t *testing.T)          { runFixture(t, "ctxflow") }

@@ -37,23 +37,42 @@ var analyzerGoroutineCapture = &Analyzer{
 	Run:  runGoroutineCapture,
 }
 
+// runGoroutineCapture replays the findings collectGoroutineCapture recorded
+// when the shared index was built (the capture-scope walk resolves types on
+// most nodes of every spawning function, so it runs once per package, not
+// once per Run).
 func runGoroutineCapture(p *Package, report Reporter) {
+	p.index().replay("goroutinecapture", report)
+}
+
+func collectGoroutineCapture(p *Package, ix *index, report Reporter) {
 	// Only functions that actually spawn — a go statement or a pool.Map /
-	// pool.Each thunk — need the scope walk; the shared index knows which
-	// those are, so everything else costs one map lookup.
-	ix := p.index()
+	// pool.Each thunk — need the scope walk; the index knows which those
+	// are. A package with no go statement and no internal/pool import
+	// cannot spawn at all and skips the sweep entirely (the same cheap
+	// pre-gate idiom as importsPackage, suffix-matched because vendored
+	// copies of the pool keep the import-path tail).
+	importsPool := false
+	for _, im := range p.Types.Imports() {
+		if pathHasSuffix(im.Path(), "internal/pool") {
+			importsPool = true
+			break
+		}
+	}
+	if len(ix.goStmts) == 0 && !importsPool {
+		return
+	}
 	spawning := make(map[*ast.FuncDecl]bool)
 	for _, g := range ix.goStmts {
 		if g.fn != nil {
 			spawning[g.fn] = true
 		}
 	}
-	for _, c := range ix.calls {
-		if c.fn == nil {
-			continue
-		}
-		if path, name, ok := pkgSelector(p, c.node.Fun); ok &&
-			pathHasSuffix(path, "internal/pool") && (name == "Map" || name == "Each") {
+	if importsPool {
+		for _, c := range ix.calls {
+			if c.fn == nil || !isPoolSpawnCall(p, c.node) {
+				continue
+			}
 			spawning[c.fn] = true
 		}
 	}
@@ -62,6 +81,18 @@ func runGoroutineCapture(p *Package, report Reporter) {
 			walkCaptureScope(p, fd.Body, make(map[types.Object]bool), nil, report)
 		}
 	}
+}
+
+// isPoolSpawnCall reports whether call is pool.Map or pool.Each. The method
+// name is checked syntactically first so the common case — any other call —
+// costs no type-info lookup.
+func isPoolSpawnCall(p *Package, call *ast.CallExpr) bool {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Map" && sel.Sel.Name != "Each") {
+		return false
+	}
+	path, _, ok := pkgSelector(p, call.Fun)
+	return ok && pathHasSuffix(path, "internal/pool")
 }
 
 // walkCaptureScope walks statements tracking the loop variables in scope and
@@ -99,8 +130,7 @@ func walkCaptureScope(p *Package, n ast.Node, loopVars map[types.Object]bool, lo
 			}
 			// Arguments (and nested closures) are walked normally below.
 		case *ast.CallExpr:
-			if path, name, ok := pkgSelector(p, t.Fun); ok &&
-				pathHasSuffix(path, "internal/pool") && (name == "Map" || name == "Each") {
+			if isPoolSpawnCall(p, t) {
 				for _, arg := range t.Args {
 					if lit, isLit := arg.(*ast.FuncLit); isLit {
 						checkClosure(p, lit, nil, token.NoPos, nil, report)

@@ -49,6 +49,42 @@ type index struct {
 	// loopBodies records the position extent of every for/range body, for
 	// analyzers that forbid a shape inside loops (telemetrylabel).
 	loopBodies []posExtent
+	// precomputed holds replayable findings, keyed by analyzer name, for the
+	// analyzers whose sweeps resolve types on a large share of the package's
+	// nodes (goroutinecapture's capture-scope walk, waitgrouplint's sync-copy
+	// checks). The resolution runs once here, when the index is built; each
+	// Run replays the recorded findings. This is the package-scope analogue
+	// of the module-level facts store (facts.go): the warm path replays, it
+	// does not re-derive.
+	precomputed map[string][]recordedFinding
+}
+
+// recordedFinding is one precomputed diagnostic, ready to replay through a
+// Reporter.
+type recordedFinding struct {
+	pos     token.Pos
+	message string
+	hint    string
+	fix     *fixSpec
+}
+
+// record returns a Reporter that appends findings to the precomputed store
+// under the given analyzer name.
+func (ix *index) record(name string) Reporter {
+	return func(pos token.Pos, message, hint string, fix ...*fixSpec) {
+		f := recordedFinding{pos: pos, message: message, hint: hint}
+		if len(fix) > 0 {
+			f.fix = fix[0]
+		}
+		ix.precomputed[name] = append(ix.precomputed[name], f)
+	}
+}
+
+// replay forwards an analyzer's precomputed findings to report.
+func (ix *index) replay(name string, report Reporter) {
+	for _, f := range ix.precomputed[name] {
+		report(f.pos, f.message, f.hint, f.fix)
+	}
 }
 
 // posExtent is one node's [Pos, End) span.
@@ -67,11 +103,12 @@ func containsPos(extents []posExtent, pos token.Pos) bool {
 }
 
 // cachedIndex is the lazily built index, stored on the Package so every
-// analyzer in a run shares it.
+// analyzer in a run shares it. Run fans packages out concurrently, so the
+// build is once-guarded.
 func (p *Package) index() *index {
-	if p.idx == nil {
-		p.idx = buildIndex(p.Files)
-	}
+	p.idxOnce.Do(func() {
+		p.idx = buildIndex(p)
+	})
 	return p.idx
 }
 
@@ -118,10 +155,18 @@ func (w indexWalker) Visit(n ast.Node) ast.Visitor {
 	return w
 }
 
-func buildIndex(files []*ast.File) *index {
-	ix := &index{}
-	for _, f := range files {
+func buildIndex(p *Package) *index {
+	ix := &index{precomputed: make(map[string][]recordedFinding)}
+	for _, f := range p.Files {
 		ast.Walk(indexWalker{ix: ix}, f)
+	}
+	// The type-resolving sweeps run once here, not per Run; their findings
+	// replay from the precomputed store. Collectors take ix directly —
+	// calling p.index() from inside the build would deadlock on the once
+	// guard.
+	if p.Info != nil {
+		collectGoroutineCapture(p, ix, ix.record("goroutinecapture"))
+		collectWaitGroupLint(p, ix, ix.record("waitgrouplint"))
 	}
 	return ix
 }

@@ -28,7 +28,10 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
+
+	"repro/internal/pool"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -86,6 +89,10 @@ type Analyzer struct {
 	Doc string
 	// Run inspects a type-checked package and reports findings.
 	Run func(p *Package, report Reporter)
+	// needsFacts marks analyzers built on the interprocedural facts store
+	// (facts.go); Run builds the store once before fanning out when any
+	// selected analyzer requires it.
+	needsFacts bool
 }
 
 // Reporter receives findings from an analyzer run. The optional trailing
@@ -106,6 +113,8 @@ func Analyzers() []*Analyzer {
 		analyzerWaitGroupLint,
 		analyzerBoundedSpawn,
 		analyzerTelemetryLabel,
+		analyzerHotAlloc,
+		analyzerCtxFlow,
 	}
 }
 
@@ -133,9 +142,28 @@ func analyzerByName(name string) (*Analyzer, bool) {
 // Run executes the given analyzers over every package of m, applies ignore
 // directives, and returns the surviving findings sorted by position. Unused
 // or malformed ignore directives are appended as "scglint" findings.
+//
+// Work fans out per package over the audited pool.Map chokepoint: each task
+// runs the whole analyzer catalog over one package, owns its findings slice,
+// builds the shared node index once behind a sync.Once, and every other
+// analyzer-visible structure (type info, the facts store, the catalog
+// tables) is read-only during a run. Per-package granularity keeps the task
+// count — and so the pool's per-task overhead — identical no matter how
+// many analyzers are selected, which is what TestSharedPassCost's marginal-
+// cost budget measures. Results are gathered in package order, so output is
+// deterministic before the final position sort. The facts store, when any
+// selected analyzer needs it, is built before the fan-out — its own build
+// parallelizes over import-DAG levels.
 func Run(m *Module, analyzers []*Analyzer) []Finding {
-	var raw []Finding
-	for _, p := range m.Packages {
+	for _, a := range analyzers {
+		if a.needsFacts {
+			m.ensureFacts()
+			break
+		}
+	}
+	perTask, _ := pool.Map(len(m.Packages), runtime.GOMAXPROCS(0), func(i int) ([]Finding, error) {
+		p := m.Packages[i]
+		var out []Finding
 		for _, a := range analyzers {
 			a := a
 			a.Run(p, func(pos token.Pos, message, hint string, fix ...*fixSpec) {
@@ -152,9 +180,14 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 				if len(fix) > 0 && fix[0] != nil {
 					f.Fix = resolveFix(m, fix[0])
 				}
-				raw = append(raw, f)
+				out = append(out, f)
 			})
 		}
+		return out, nil
+	})
+	var raw []Finding
+	for _, fs := range perTask {
+		raw = append(raw, fs...)
 	}
 	findings := applyIgnores(m, raw)
 	sort.Slice(findings, func(i, j int) bool {

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package of the module under analysis.
@@ -29,8 +30,14 @@ type Package struct {
 	Types *types.Package
 	// Info holds the expression types, identifier uses/defs, and selections.
 	Info *types.Info
-	// idx is the lazily built shared node index (see inspect.go).
-	idx *index
+	// idx is the lazily built shared node index (see inspect.go); idxOnce
+	// guards the build now that several analyzers may touch one package
+	// concurrently.
+	idxOnce sync.Once
+	idx     *index
+	// mod points back to the owning Module so facts-backed analyzers can
+	// reach the module-level store from a per-package Run.
+	mod *Module
 }
 
 // Module is a fully loaded and type-checked Go module.
@@ -48,6 +55,20 @@ type Module struct {
 	// to resolve indentation-aware edits and to print diffs without
 	// re-reading (and possibly racing with) the working tree.
 	sources map[string][]byte
+
+	// FactsCacheDir, when non-empty, enables the on-disk facts cache
+	// (factscache.go). Set before the first Run.
+	FactsCacheDir string
+	// HotpathDepth bounds the hotalloc call-graph walk; 0 means the
+	// default (defaultHotpathDepth). Set before the first Run.
+	HotpathDepth int
+
+	// The interprocedural facts store, built at most once per Module.
+	factsOnce sync.Once
+	facts     *moduleFacts
+	// fileByName indexes the fileset for sitePos -> token.Pos mapping.
+	fileOnce   sync.Once
+	fileByName map[string]*token.File
 }
 
 // Source returns the raw bytes of a loaded file (as parsed, not as currently
@@ -236,7 +257,7 @@ func parseDir(fset *token.FileSet, m *Module, root, modPath, dir string) (*Packa
 	if rel != "." {
 		importPath = modPath + "/" + filepath.ToSlash(rel)
 	}
-	p := &Package{Path: importPath, Dir: dir, Fset: fset}
+	p := &Package{Path: importPath, Dir: dir, Fset: fset, mod: m}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {

@@ -5,6 +5,7 @@ import (
 	"go/constant"
 	"regexp"
 	"strconv"
+	"sync"
 )
 
 // analyzerPanicStyle enforces the repository's panic-message convention:
@@ -69,13 +70,20 @@ func stringConstant(p *Package, e ast.Expr) (string, bool) {
 	return constant.StringVal(tv.Value), true
 }
 
-var panicStyleCache = map[string]*regexp.Regexp{}
+// panicStyleCache memoizes the per-package pattern; Run analyzes packages
+// concurrently, so access is mutex-guarded.
+var (
+	panicStyleMu    sync.Mutex
+	panicStyleCache = map[string]*regexp.Regexp{}
+)
 
 // panicStyleRE matches `<pkg>: <Func-ish>: <message>`. The middle segment
 // is a function or method name, optionally with rendered arguments or a
 // format verb standing in for a dynamic name, e.g. "Identity(%d)",
 // "ComposeInto", or "%s.Apply".
 func panicStyleRE(pkg string) *regexp.Regexp {
+	panicStyleMu.Lock()
+	defer panicStyleMu.Unlock()
 	if re, ok := panicStyleCache[pkg]; ok {
 		return re
 	}

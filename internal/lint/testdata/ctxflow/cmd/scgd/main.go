@@ -1,0 +1,15 @@
+// Command scgd mimics the real daemon entry point: fresh context roots in
+// main are the sanctioned place to start the context tree, even though
+// cmd/scgd is inside ctxflow's scoped packages.
+package main
+
+import (
+	"context"
+
+	"fixctx/internal/server"
+)
+
+func main() {
+	ctx := context.Background()
+	server.Good(ctx)
+}

@@ -1,0 +1,19 @@
+// Package lib sits outside the scoped daemon packages: fresh context roots
+// are allowed here, but dropping a caller's context is a module-wide
+// violation.
+package lib
+
+import "context"
+
+func helper(ctx context.Context) {}
+
+// Root starts a fresh context tree in library code: not ctxflow's business.
+func Root() {
+	ctx := context.Background()
+	helper(ctx)
+}
+
+// Leak receives a context and drops it.
+func Leak(ctx context.Context) {
+	helper(context.TODO()) //lintwant context.TODO() passed to lib.helper: the caller's context is dropped
+}

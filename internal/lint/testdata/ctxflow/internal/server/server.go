@@ -1,0 +1,59 @@
+// Package server exercises ctxflow inside a scoped daemon package: dropped
+// contexts, fresh roots, sanctioned detaches, and the main/init exemption.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+var bootCtx context.Context
+
+// init may start the context tree: the fresh root below is exempt.
+func init() {
+	bootCtx = context.Background()
+}
+
+func work(ctx context.Context) {}
+
+// Good threads its context through a derived child: no findings.
+func Good(ctx context.Context) {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	work(tctx)
+}
+
+// DropDirect passes a fresh root straight into a context-accepting callee;
+// the root and the drop merge into one finding.
+func DropDirect(ctx context.Context) {
+	work(context.Background()) //lintwant context.Background() passed to server.work: the caller's context is dropped
+}
+
+// DropVar passes a context that is not derived from the parameter.
+func DropVar(ctx context.Context) {
+	work(bootCtx) //lintwant call to server.work drops the caller's context
+}
+
+// Spawn creates a fresh root outside main/init in a scoped package.
+func Spawn() {
+	ctx := context.Background() //lintwant context.Background() creates a fresh context root outside main/init
+	work(ctx)
+}
+
+// Rescope detaches deliberately: the directive sanctions the fresh root and
+// blesses jctx as derived for the call below.
+func Rescope(ctx context.Context) {
+	jctx := context.Background() //scglint:ctxdetach fixture: async phase outlives the request
+	work(jctx)
+}
+
+// Quiet carries a directive that sanctions nothing.
+func Quiet(ctx context.Context) {
+	work(ctx) //scglint:ctxdetach fixture: nothing detaches here //lintwant unused //scglint:ctxdetach directive
+}
+
+// Ignored proves the pre-existing //scglint:ignore machinery still
+// suppresses the new analyzer.
+func Ignored(ctx context.Context) {
+	work(context.Background()) //scglint:ignore ctxflow fixture: legacy suppression still works
+}

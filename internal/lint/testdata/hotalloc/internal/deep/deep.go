@@ -1,0 +1,9 @@
+// Package deep is the leaf of the fixture call chain.
+package deep
+
+// Build allocates two hops from the annotated root; the finding must carry
+// the full chain from kernel.Hot.
+func Build(v int) int {
+	xs := make([]int, v) //lintwant in hot path [kernel.Hot -> mid.Step -> deep.Build]
+	return len(xs)
+}

@@ -1,0 +1,25 @@
+// Package mid is the middle hop of the fixture call chain.
+package mid
+
+import "fixhot/internal/deep"
+
+// Step forwards into deep so the root's finding carries a two-hop chain.
+func Step(v int) int {
+	return deep.Build(v)
+}
+
+// Cold is the severed callee: kernel.Cut reaches it, the directive cuts the
+// edge, and the allocation below is never reported.
+//
+//scglint:coldpath fixture: cold error path allowed to allocate
+func Cold(n int) []int {
+	return make([]int, n)
+}
+
+// Orphan's directive is reachable from no hot root, which makes the
+// directive itself a finding.
+//
+//scglint:coldpath fixture: nothing hot reaches this //lintwant unused //scglint:coldpath directive
+func Orphan(n int) []int {
+	return make([]int, n)
+}

@@ -72,8 +72,15 @@ func waitGroupMethod(p *Package, call *ast.CallExpr) (recv ast.Expr, method stri
 	return sel.X, sel.Sel.Name, true
 }
 
+// runWaitGroupLint replays the findings collectWaitGroupLint recorded when
+// the shared index was built (the copy sweep resolves the type of every
+// assignment source and call argument, so it runs once per package, not
+// once per Run).
 func runWaitGroupLint(p *Package, report Reporter) {
-	ix := p.index()
+	p.index().replay("waitgrouplint", report)
+}
+
+func collectWaitGroupLint(p *Package, ix *index, report Reporter) {
 	for _, g := range ix.goStmts {
 		if lit, ok := g.node.Call.Fun.(*ast.FuncLit); ok {
 			checkSpawnedClosure(p, g.node, lit, report)
@@ -81,13 +88,31 @@ func runWaitGroupLint(p *Package, report Reporter) {
 	}
 	// The copy sweep touches the type of every assignment source and call
 	// argument, so it only runs where it can fire: declaring or producing a
-	// sync value names the type and therefore imports sync. (A copy pulled
-	// from another package's exported field without the import is the one
-	// shape outside the gate — accepted, it cannot occur here because the
-	// parameter/result checks keep sync values out of exported APIs.)
-	if importsPackage(p, "sync") {
+	// sync value names the type — `sync.<TypeName>` appears as a selector —
+	// and therefore imports sync. (A copy pulled from another package's
+	// exported field without naming the type is the one shape outside the
+	// gate — accepted, it cannot occur here because the parameter/result
+	// checks keep sync values out of exported APIs.)
+	if importsPackage(p, "sync") && namesSyncValueType(p, ix) {
 		checkSyncCopies(p, ix, report)
 	}
+}
+
+// namesSyncValueType reports whether the package source spells out one of
+// the copy-unsafe sync types (sync.WaitGroup, sync.Mutex, ...). The selector
+// name is compared syntactically first so packages that import sync for its
+// copy-safe API (sync.Map, sync.Pool, OnceFunc) skip the type-resolving copy
+// sweep without per-expression lookups.
+func namesSyncValueType(p *Package, ix *index) bool {
+	for _, s := range ix.selectors {
+		switch s.node.Sel.Name {
+		case "WaitGroup", "Mutex", "RWMutex", "Once":
+			if path, _, ok := pkgSelector(p, s.node); ok && path == "sync" {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // checkSpawnedClosure audits one go-launched closure for misplaced Add and

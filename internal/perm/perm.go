@@ -191,6 +191,8 @@ func (p Perm) Compose(q Perm) Perm {
 
 // ComposeInto writes p∘q into dst, which must have the same length as p and
 // q and must not alias either.
+//
+//scglint:hotpath generator application: one compose per edge probe in BFS hot loops
 func (p Perm) ComposeInto(q, dst Perm) {
 	if len(p) != len(q) || len(dst) != len(p) {
 		panic("perm: ComposeInto: length mismatch")

@@ -74,6 +74,8 @@ func NewRankScratch(k int) *RankScratch {
 // Lehmer digit with a Fenwick tree, dropping the per-call cost from O(k²)
 // to O(k log k) without allocating. This is the innermost kernel of every
 // exact BFS measurement: one call per edge of the k!-state graph.
+//
+//scglint:hotpath Fenwick rank kernel: one call per BFS edge, must stay allocation-free
 func (p Perm) RankInto(s *RankScratch) int64 {
 	k := len(p)
 	if s == nil || len(s.tree) < k+1 {
@@ -107,6 +109,8 @@ func (p Perm) RankInto(s *RankScratch) int64 {
 // three rank kernels for every k <= MaxRankK (see BenchmarkRank*) and the
 // one the BFS engines use per edge; RankInto remains the general
 // Fenwick-tree form that scales past 64 symbols if MaxRankK ever grows.
+//
+//scglint:hotpath popcount rank kernel: called once per edge probe in every BFS hot loop and per warm route request
 func (p Perm) RankBits() int64 {
 	k := len(p)
 	if k > MaxRankK {
@@ -151,6 +155,8 @@ func Unrank(k int, rank int64) Perm {
 
 // UnrankInto is an allocation-light variant of Unrank for BFS hot loops; it
 // fills dst (length k) and uses scratch (length k) as working storage.
+//
+//scglint:hotpath frontier-node decode: called once per expanded node in BFS hot loops
 func UnrankInto(k int, rank int64, dst Perm, scratch []int) {
 	for i := 0; i < k; i++ {
 		scratch[i] = i + 1

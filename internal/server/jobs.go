@@ -176,7 +176,7 @@ func (j *Jobs) run(id string) {
 	j.mu.Unlock()
 
 	start := time.Now()
-	ctx := context.Background()
+	ctx := context.Background() //scglint:ctxdetach async profile jobs outlive their 202 request; the job must not die with the submitting connection
 	var tr *telemetry.Trace
 	if j.slow != nil {
 		tr = telemetry.AcquireTrace(reqID, start)

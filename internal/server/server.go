@@ -372,7 +372,7 @@ func Run(ctx context.Context, ln net.Listener, s *Server, drain time.Duration) e
 		return err
 	case <-ctx.Done():
 	}
-	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain) //scglint:ctxdetach shutdown runs after ctx is already canceled; the drain deadline needs a fresh root
 	defer cancel()
 	err := hs.Shutdown(sctx)
 	s.Close()
