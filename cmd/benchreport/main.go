@@ -1,10 +1,12 @@
 // Command benchreport runs the repository's headline performance
-// measurements — serial vs parallel BFS at k = 8/9/10, the three rank
-// kernels, stretch sampling, and the scgd telemetry zero-overhead guard
-// (traced vs untraced /v1/route must differ by zero allocations per
-// request) — and emits them as JSON so each PR can be compared against the
-// committed BENCH_baseline.json and the perf trajectory of the
-// exact-measurement engine stays visible.
+// measurements — the three rank kernels, the BFS engine suite at
+// k = 8/9/10 (serial byte-table walk, precomposed neighbor-table build,
+// table-resident bitset sweep single-threaded and parallel), stretch
+// sampling, the warm /v1/route handler (which must be allocation-free),
+// and the scgd telemetry zero-overhead guard (traced vs untraced /v1/route
+// must differ by zero allocations per request) — and emits them as JSON so
+// each PR can be compared against the committed BENCH_baseline.json and the
+// perf trajectory of the exact-measurement engine stays visible.
 //
 // Entries are emitted in a fixed order (no map iteration feeds the file),
 // so two runs on the same machine differ only in the timing fields.
@@ -15,10 +17,17 @@
 // of kernels these benchmarks actually drive, so the static analysis and the
 // measured reality cannot drift apart silently.
 //
+// The -compare flag turns the command into a regression gate: it reads two
+// reports and fails if any benchmark present in both slowed past the ratio
+// threshold, gained allocations, or — for route/hot — allocates at all.
+// Wall-clock ratios tolerate machine-to-machine noise (-max-ratio, default
+// 3x); allocation counts are deterministic and gate exactly.
+//
 // Examples:
 //
 //	benchreport -out BENCH_baseline.json
 //	benchreport -quick -out bench_smoke.json   # CI smoke: k <= 8, 1 round
+//	benchreport -compare BENCH_baseline.json bench_smoke.json
 //	scglint -hotpath-report | benchreport -hotpath-report -
 package main
 
@@ -81,6 +90,8 @@ func main() {
 		quick       = flag.Bool("quick", false, "CI smoke mode: k <= 8, one round, fewer kernel iterations")
 		workers     = flag.Int("workers", 0, "parallel BFS worker count (0 = GOMAXPROCS)")
 		hotpaths    = flag.String("hotpath-report", "", "cross-check mode: read `scglint -hotpath-report` output from this file (- for stdin) and assert the annotated kernel set matches the benchmarked set")
+		compare     = flag.Bool("compare", false, "regression-gate mode: compare two reports (old.json new.json) instead of measuring")
+		maxRatio    = flag.Float64("max-ratio", 3.0, "compare mode: fail when new ns/op exceeds old by this factor")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -90,6 +101,13 @@ func main() {
 	}
 	if *hotpaths != "" {
 		os.Exit(crossCheckHotpaths(*hotpaths))
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchreport: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *maxRatio))
 	}
 	if *quick {
 		if *maxK > 8 {
@@ -121,13 +139,14 @@ func main() {
 	}
 	rep.Entries = append(rep.Entries, rankKernels(kernelIters)...)
 	for k := 8; k <= *maxK; k++ {
-		rep.Entries = append(rep.Entries, bfsPair(k, *rounds, *workers)...)
+		rep.Entries = append(rep.Entries, bfsSuite(k, *rounds, *workers)...)
 	}
 	rep.Entries = append(rep.Entries, stretchEntry(stretchPairs))
 	routeIters := 4000
 	if *quick {
 		routeIters = 1000
 	}
+	rep.Entries = append(rep.Entries, routeHotEntry(routeIters*4))
 	rep.Entries = append(rep.Entries, telemetryGuard(routeIters)...)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -144,14 +163,18 @@ func main() {
 
 // benchedHotpaths is the set of //scglint:hotpath-annotated functions these
 // benchmarks exercise: the rank and compose kernels (rankKernels and every
-// BFS edge), the two BFS engine inner loops (bfsPair), and the warm-route
-// distance overlay (telemetryGuard's /v1/route traffic). perm.Rank is the
+// BFS edge), the serial engine's expansion loop and the bitset engine's
+// expand/merge loops (bfsSuite), the precomposed-table build kernel
+// (neighbor-table entries), and the warm-route distance overlay (route/hot
+// and the telemetry guard's /v1/route traffic). perm.Rank is the
 // deliberately unannotated O(k²) reference, so it is absent. If an
 // annotation is added or removed, this list and the benchmark that drives
 // the kernel must move together — the -hotpath-report cross-check fails CI
 // otherwise.
 var benchedHotpaths = []string{
-	"repro/internal/core.(*bfsWorker).expandShard",
+	"repro/internal/core.(*NeighborTable).fillChunk",
+	"repro/internal/core.(*bitsetBFS).expandWords",
+	"repro/internal/core.(*bitsetBFS).mergeWords",
 	"repro/internal/core.(*serialBFS).expandNode",
 	"repro/internal/perm.(Perm).ComposeInto",
 	"repro/internal/perm.(Perm).RankBits",
@@ -215,6 +238,98 @@ func crossCheckHotpaths(path string) int {
 	return 0
 }
 
+// compareReports is the regression gate: every benchmark present in both
+// reports must hold new ns/op <= old ns/op * maxRatio and must not gain
+// allocations (tolerance half an alloc, since the counts are means over a
+// finite loop); route/hot additionally must report exactly zero allocs/op no
+// matter what the old report says. Benchmarks present in only one report are
+// listed but do not fail the gate — CI compares a -quick smoke run (k <= 8)
+// against the full committed baseline (k <= 10). Returns the process exit
+// code.
+func compareReports(oldPath, newPath string, maxRatio float64) int {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		return 1
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		return 1
+	}
+	oldByName := make(map[string]Entry, len(oldRep.Entries))
+	for _, e := range oldRep.Entries {
+		oldByName[e.Name] = e
+	}
+	bad := 0
+	compared := 0
+	for _, n := range newRep.Entries {
+		if n.Name == "route/hot" && n.AllocsPerOp != 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL %s: %.2f allocs/op, the warm route handler must not allocate\n", n.Name, n.AllocsPerOp)
+			bad++
+		}
+		o, ok := oldByName[n.Name]
+		if !ok {
+			fmt.Printf("benchreport: new benchmark %s (%.0f ns/op), no old counterpart\n", n.Name, n.NsPerOp)
+			continue
+		}
+		delete(oldByName, n.Name)
+		compared++
+		if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*maxRatio {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL %s: %.0f ns/op vs %.0f ns/op old (%.2fx > %.2fx allowed)\n",
+				n.Name, n.NsPerOp, o.NsPerOp, n.NsPerOp/o.NsPerOp, maxRatio)
+			bad++
+			continue
+		}
+		if n.AllocsPerOp > o.AllocsPerOp+0.5 {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL %s: %.2f allocs/op vs %.2f old\n", n.Name, n.AllocsPerOp, o.AllocsPerOp)
+			bad++
+			continue
+		}
+		fmt.Printf("benchreport: ok %s: %.0f ns/op vs %.0f old (%.2fx)\n", n.Name, n.NsPerOp, o.NsPerOp, ratioOf(n.NsPerOp, o.NsPerOp))
+	}
+	var missing []string
+	for name := range oldByName {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("benchreport: old benchmark %s absent from the new report\n", name)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: the reports share no benchmarks — nothing was gated")
+		return 1
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: %d regression(s) across %d shared benchmark(s)\n", bad, compared)
+		return 1
+	}
+	fmt.Printf("benchreport: %d shared benchmark(s) within thresholds\n", compared)
+	return 0
+}
+
+func ratioOf(n, o float64) float64 {
+	if o == 0 {
+		return 0
+	}
+	return n / o
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Schema != "scg-bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, rep.Schema)
+	}
+	return &rep, nil
+}
+
 // rankKernels times the three rank implementations on one fixed k = 10
 // permutation: the innermost loop of every exact measurement.
 func rankKernels(iters int) []Entry {
@@ -248,12 +363,22 @@ func rankKernels(iters int) []Entry {
 	}
 }
 
-// bfsPair measures the serial and parallel BFS engines on star(k).
-func bfsPair(k, rounds, workers int) []Entry {
+// bfsSuite measures the BFS engine family on star(k): the serial byte-table
+// walk, the precomposed neighbor-table build (the one-time cost the bitset
+// engines amortize), and the table-resident bitset sweep single-threaded and
+// at the requested worker count. The table is dropped between build rounds so
+// every build is cold, left resident for the sweep entries so they time only
+// the frontier work, and dropped at the end so successive k do not stack
+// hundreds of megabytes.
+func bfsSuite(k, rounds, workers int) []Entry {
 	nw, err := topology.NewStar(k)
 	fail(err)
 	g := nw.Graph()
 	src := perm.Identity(k)
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
 
 	var diam int
 	serial := time.Duration(0)
@@ -264,24 +389,52 @@ func bfsPair(k, rounds, workers int) []Entry {
 		serial += time.Since(t0)
 		diam = res.Eccentricity
 	}
-	parallel := time.Duration(0)
+
+	build := time.Duration(0)
 	for r := 0; r < rounds; r++ {
+		g.DropNeighborTable()
 		t0 := time.Now()
-		res, err := g.BFSParallel(src, workers)
+		_, err := g.EnsureNeighborTable(workers)
 		fail(err)
-		parallel += time.Since(t0)
-		if res.Eccentricity != diam {
-			fail(fmt.Errorf("benchreport: parallel BFS diameter %d != serial %d at k=%d", res.Eccentricity, diam, k))
+		build += time.Since(t0)
+	}
+
+	check := func(name string, run func() (ecc int, err error)) time.Duration {
+		total := time.Duration(0)
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			ecc, err := run()
+			fail(err)
+			total += time.Since(t0)
+			if ecc != diam {
+				fail(fmt.Errorf("benchreport: %s diameter %d != serial %d at k=%d", name, ecc, diam, k))
+			}
 		}
+		return total
 	}
-	w := workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
+	bitset := check("bitset BFS", func() (int, error) {
+		res, err := g.BFSBitset(src)
+		if err != nil {
+			return 0, err
+		}
+		return res.Eccentricity, nil
+	})
+	parallel := check("parallel BFS", func() (int, error) {
+		res, err := g.BFSParallel(src, workers)
+		if err != nil {
+			return 0, err
+		}
+		return res.Eccentricity, nil
+	})
+	g.DropNeighborTable()
+
 	detail := fmt.Sprintf("star(%d), %d states, diameter %d", k, perm.Factorial(k), diam)
+	tblDetail := fmt.Sprintf("star(%d), %d states x degree %d, cold build", k, perm.Factorial(k), g.OutDegree())
 	return []Entry{
 		{Name: fmt.Sprintf("bfs-serial/star-%d", k), K: k, Rounds: rounds, NsPerOp: nsPerOp(serial, rounds), Detail: detail},
-		{Name: fmt.Sprintf("bfs-parallel/star-%d", k), K: k, Workers: w, Rounds: rounds, NsPerOp: nsPerOp(parallel, rounds), Detail: detail},
+		{Name: fmt.Sprintf("neighbor-table/star-%d", k), K: k, Workers: w, Rounds: rounds, NsPerOp: nsPerOp(build, rounds), Detail: tblDetail},
+		{Name: fmt.Sprintf("bfs-bitset/star-%d", k), K: k, Workers: 1, Rounds: rounds, NsPerOp: nsPerOp(bitset, rounds), Detail: detail + ", table resident"},
+		{Name: fmt.Sprintf("bfs-parallel/star-%d", k), K: k, Workers: w, Rounds: rounds, NsPerOp: nsPerOp(parallel, rounds), Detail: detail + ", table resident"},
 	}
 }
 
@@ -302,6 +455,33 @@ func stretchEntry(pairs int) Entry {
 		Rounds:  pairs,
 		NsPerOp: nsPerOp(elapsed, pairs),
 		Detail:  fmt.Sprintf("%d pairs, mean stretch %.3f, %d optimal", st.Pairs, st.MeanStretch, st.Optimal),
+	}
+}
+
+// routeHotEntry measures the warm /v1/route handler alone — past the mux
+// middleware, straight into the pooled-scratch path — and fails the whole
+// report if it allocates at all. This is the allocs/op = 0 gate on the
+// server's hottest endpoint; BenchmarkRouteHot is the go-test spelling of
+// the same loop.
+func routeHotEntry(iters int) Entry {
+	s := server.New(server.Config{
+		RequestTimeout: 30 * time.Second,
+		SampleInterval: -1,
+	})
+	defer s.Close()
+	const target = "/v1/route?family=MS&l=2&n=3&src=2314567&dst=7654321"
+	ns, allocs, err := server.MeasureRouteHot(s, target, iters)
+	fail(err)
+	if allocs != 0 {
+		fail(fmt.Errorf("benchreport: warm /v1/route handler allocates %.2f times per request, want exactly 0", allocs))
+	}
+	return Entry{
+		Name:        "route/hot",
+		K:           7,
+		Rounds:      iters,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+		Detail:      "warm-cache MS(2,3) GET handler only, asserted 0 allocs/op",
 	}
 }
 

@@ -1,0 +1,159 @@
+package bag
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/perm"
+)
+
+// Scratch is a reusable solver workspace. After a warm-up call per game
+// shape, its Solve* methods run without heap allocation, which is what lets
+// the /v1/route handler answer steady-state requests at 0 allocs/op.
+//
+// The move slices returned by Scratch methods alias the workspace: they are
+// valid only until the next call on the same Scratch and must be copied if
+// retained. A Scratch is not safe for concurrent use; pool instances
+// instead.
+type Scratch struct {
+	st   state
+	best []gen.Generator
+}
+
+// reset rebinds the embedded state to (rules, u, offset), growing buffers
+// only when a larger game than any seen before arrives.
+func (sc *Scratch) reset(rules Rules, u perm.Perm, offset int) *state {
+	s := &sc.st
+	s.rules = rules
+	k := len(u)
+	if cap(s.cfg) < k {
+		s.cfg = make(perm.Perm, k)
+	}
+	s.cfg = s.cfg[:k]
+	copy(s.cfg, u)
+	l := rules.Layout.L
+	if cap(s.boxColor) < l {
+		s.boxColor = make([]int, l)
+	}
+	s.boxColor = s.boxColor[:l]
+	for j := 1; j <= l; j++ {
+		s.boxColor[j-1] = (j-1+offset)%l + 1
+	}
+	s.moves = s.moves[:0]
+	return s
+}
+
+// validatePerm is the hot-path stand-in for perm.Validate: the boolean check
+// is allocation-free and the error is constructed only on failure.
+func validatePerm(u perm.Perm) error {
+	if u.Valid() {
+		return nil
+	}
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	return fmt.Errorf("bag: configuration of %d symbols exceeds the 64-symbol limit", len(u))
+}
+
+// SolveWithOffset is the workspace-reusing form of the package-level
+// SolveWithOffset. The returned slice aliases the Scratch.
+func (sc *Scratch) SolveWithOffset(rules Rules, u perm.Perm, offset int) ([]gen.Generator, error) {
+	if err := rules.Validate(); err != nil {
+		return nil, err
+	}
+	if len(u) != rules.Layout.K() {
+		return nil, fmt.Errorf("bag: Solve: configuration has %d balls, layout wants %d", len(u), rules.Layout.K())
+	}
+	if err := validatePerm(u); err != nil {
+		return nil, err
+	}
+	rotational := rules.Super == RotSingleSuper || rules.Super == RotPairSuper || rules.Super == RotCompleteSuper
+	if offset != 0 && !rotational {
+		return nil, fmt.Errorf("bag: Solve: offset %d requires a rotation super style", offset)
+	}
+	if offset < 0 || (rotational && offset >= rules.Layout.L) {
+		return nil, fmt.Errorf("bag: Solve: offset %d out of range 0..%d", offset, rules.Layout.L-1)
+	}
+	s := sc.reset(rules, u, offset)
+	switch rules.Nucleus {
+	case TranspositionNucleus:
+		s.solveTransposition()
+	case InsertionNucleus:
+		s.solveInsertion()
+	default:
+		return nil, fmt.Errorf("bag: Solve: unknown nucleus style %v", rules.Nucleus)
+	}
+	if !s.cfg.IsIdentity() {
+		return nil, fmt.Errorf("bag: Solve: internal error: final configuration %v is not the identity", s.cfg)
+	}
+	return s.moves, nil
+}
+
+// Solve is the workspace-reusing form of the package-level Solve. The
+// returned slice aliases the Scratch.
+func (sc *Scratch) Solve(rules Rules, u perm.Perm) ([]gen.Generator, error) {
+	rotational := rules.Super == RotSingleSuper || rules.Super == RotPairSuper || rules.Super == RotCompleteSuper
+	if !rotational {
+		return sc.SolveWithOffset(rules, u, 0)
+	}
+	found := false
+	for b := 0; b < rules.Layout.L; b++ {
+		moves, err := sc.SolveWithOffset(rules, u, b)
+		if err != nil {
+			return nil, err
+		}
+		if !found || len(moves) < len(sc.best) {
+			sc.best = append(sc.best[:0], moves...)
+			found = true
+		}
+	}
+	return sc.best, nil
+}
+
+// SolveStar is the workspace-reusing form of the package-level SolveStar.
+// The returned slice aliases the Scratch.
+func (sc *Scratch) SolveStar(u perm.Perm) ([]gen.Generator, error) {
+	if err := validatePerm(u); err != nil {
+		return nil, err
+	}
+	s := &sc.st
+	k := len(u)
+	if cap(s.cfg) < k {
+		s.cfg = make(perm.Perm, k)
+	}
+	s.cfg = s.cfg[:k]
+	copy(s.cfg, u)
+	s.moves = s.moves[:0]
+	cfg := s.cfg
+	apply := func(i int) {
+		g := gen.NewTransposition(i)
+		g.Apply(cfg)
+		s.moves = append(s.moves, g)
+	}
+	for !cfg.IsIdentity() {
+		if x := cfg[0]; x != 1 {
+			apply(x) // send the leftmost ball home, ejecting the occupant
+		} else {
+			for i := 2; i <= k; i++ {
+				if cfg[i-1] != i {
+					apply(i) // pull any misplaced ball to the front
+					break
+				}
+			}
+		}
+	}
+	return s.moves, nil
+}
+
+// SolveRotator is the workspace-reusing form of the package-level
+// SolveRotator. The returned slice aliases the Scratch.
+func (sc *Scratch) SolveRotator(u perm.Perm) ([]gen.Generator, error) {
+	if len(u) < 2 {
+		if err := validatePerm(u); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	rules := Rules{Layout: MustLayout(1, len(u)-1), Nucleus: InsertionNucleus, Super: NoSuper}
+	return sc.Solve(rules, u)
+}

@@ -17,57 +17,16 @@ import (
 // offset can change the solution length considerably (Fig. 2 vs. Fig. 3).
 // For swap-style and single-box games the offset must be 0.
 func SolveWithOffset(rules Rules, u perm.Perm, offset int) ([]gen.Generator, error) {
-	if err := rules.Validate(); err != nil {
-		return nil, err
-	}
-	if len(u) != rules.Layout.K() {
-		return nil, fmt.Errorf("bag: Solve: configuration has %d balls, layout wants %d", len(u), rules.Layout.K())
-	}
-	if err := u.Validate(); err != nil {
-		return nil, err
-	}
-	rotational := rules.Super == RotSingleSuper || rules.Super == RotPairSuper || rules.Super == RotCompleteSuper
-	if offset != 0 && !rotational {
-		return nil, fmt.Errorf("bag: Solve: offset %d requires a rotation super style", offset)
-	}
-	if offset < 0 || (rotational && offset >= rules.Layout.L) {
-		return nil, fmt.Errorf("bag: Solve: offset %d out of range 0..%d", offset, rules.Layout.L-1)
-	}
-	s := newState(rules, u, offset)
-	switch rules.Nucleus {
-	case TranspositionNucleus:
-		s.solveTransposition()
-	case InsertionNucleus:
-		s.solveInsertion()
-	default:
-		return nil, fmt.Errorf("bag: Solve: unknown nucleus style %v", rules.Nucleus)
-	}
-	if !s.cfg.IsIdentity() {
-		return nil, fmt.Errorf("bag: Solve: internal error: final configuration %v is not the identity", s.cfg)
-	}
-	return s.moves, nil
+	var sc Scratch
+	return sc.SolveWithOffset(rules, u, offset)
 }
 
 // Solve solves the game from configuration u, searching all cyclic color
 // assignments for rotation-style games and returning the shortest solution
 // found. Swap-style and single-box games have a single canonical assignment.
 func Solve(rules Rules, u perm.Perm) ([]gen.Generator, error) {
-	rotational := rules.Super == RotSingleSuper || rules.Super == RotPairSuper || rules.Super == RotCompleteSuper
-	if !rotational {
-		return SolveWithOffset(rules, u, 0)
-	}
-	var best []gen.Generator
-	found := false
-	for b := 0; b < rules.Layout.L; b++ {
-		moves, err := SolveWithOffset(rules, u, b)
-		if err != nil {
-			return nil, err
-		}
-		if !found || len(moves) < len(best) {
-			best, found = moves, true
-		}
-	}
-	return best, nil
+	var sc Scratch
+	return sc.Solve(rules, u)
 }
 
 // SolveStar solves the ball-arrangement game behind the k-star graph
@@ -75,44 +34,16 @@ func Solve(rules Rules, u perm.Perm) ([]gen.Generator, error) {
 // exchanged with an arbitrary ball, i.e. generators T_2..T_k. The solution
 // has at most ⌊3(k-1)/2⌋ moves.
 func SolveStar(u perm.Perm) ([]gen.Generator, error) {
-	if err := u.Validate(); err != nil {
-		return nil, err
-	}
-	cfg := u.Clone()
-	k := len(cfg)
-	var moves []gen.Generator
-	apply := func(i int) {
-		g := gen.NewTransposition(i)
-		g.Apply(cfg)
-		moves = append(moves, g)
-	}
-	for !cfg.IsIdentity() {
-		if x := cfg[0]; x != 1 {
-			apply(x) // send the leftmost ball home, ejecting the occupant
-		} else {
-			for i := 2; i <= k; i++ {
-				if cfg[i-1] != i {
-					apply(i) // pull any misplaced ball to the front
-					break
-				}
-			}
-		}
-	}
-	return moves, nil
+	var sc Scratch
+	return sc.SolveStar(u)
 }
 
 // SolveRotator solves the game behind the k-rotator graph (Corbett):
 // generators I_2..I_k over all k symbols. It reuses the one-box insertion
 // algorithm of §2.3.
 func SolveRotator(u perm.Perm) ([]gen.Generator, error) {
-	if len(u) < 2 {
-		if err := u.Validate(); err != nil {
-			return nil, err
-		}
-		return nil, nil
-	}
-	rules := Rules{Layout: MustLayout(1, len(u)-1), Nucleus: InsertionNucleus, Super: NoSuper}
-	return Solve(rules, u)
+	var sc Scratch
+	return sc.SolveRotator(u)
 }
 
 // Replay applies moves to u and returns the resulting configuration.

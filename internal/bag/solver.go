@@ -17,15 +17,7 @@ type state struct {
 	cfg      perm.Perm
 	boxColor []int // boxColor[j-1] = color of the box currently at slot j
 	moves    []gen.Generator
-}
-
-func newState(rules Rules, u perm.Perm, offset int) *state {
-	ly := rules.Layout
-	s := &state{rules: rules, cfg: u.Clone(), boxColor: make([]int, ly.L)}
-	for j := 1; j <= ly.L; j++ {
-		s.boxColor[j-1] = (j-1+offset)%ly.L + 1
-	}
-	return s
+	rotated  []int // scratch for rotateForward's color-array rotation
 }
 
 func (s *state) record(g gen.Generator) {
@@ -82,7 +74,10 @@ func (s *state) rotateForward(t int) {
 	}
 	// A forward rotation by t moves the box at slot j to slot j+t (mod l):
 	// rotate the color array right by t.
-	rotated := make([]int, l)
+	if cap(s.rotated) < l {
+		s.rotated = make([]int, l)
+	}
+	rotated := s.rotated[:l]
 	for j := 0; j < l; j++ {
 		rotated[(j+t)%l] = s.boxColor[j]
 	}

@@ -62,7 +62,7 @@ func BFSTree(g *core.Graph, root perm.Perm) (*Tree, error) {
 	scratch := make([]int, k)
 	children := make(map[int64][]int64)
 	for v := int64(0); v < n; v++ {
-		d := res.Dist[v]
+		d := res.Dist.At(v)
 		if d <= 0 {
 			continue
 		}
@@ -70,7 +70,7 @@ func BFSTree(g *core.Graph, root perm.Perm) (*Tree, error) {
 		for _, ip := range invPerms {
 			cur.ComposeInto(ip, pre)
 			u := pre.Rank()
-			if res.Dist[u] == d-1 {
+			if res.Dist.At(u) == d-1 {
 				parent[v] = u
 				children[u] = append(children[u], v)
 				break
@@ -83,7 +83,7 @@ func BFSTree(g *core.Graph, root perm.Perm) (*Tree, error) {
 	t := &Tree{
 		Root:     root.Rank(),
 		Parent:   parent,
-		Depth:    res.Dist,
+		Depth:    res.Dist.Int32Slice(),
 		Children: children,
 		Height:   res.Eccentricity,
 	}

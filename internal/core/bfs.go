@@ -22,8 +22,10 @@ type BFSResult struct {
 	// Mean is the average distance over all reachable nodes other than the
 	// source (the paper's "average distance" convention).
 	Mean float64
-	// Dist maps node rank to distance from the source; -1 if unreachable.
-	Dist []int32
+	// Dist maps node rank to distance from the source (At returns -1 for
+	// unreachable states). Unweighted searches use the compact 1-byte
+	// backing; weighted searches and the overflow fallback use int32.
+	Dist DistTable
 }
 
 // meanFromHistogram computes the average distance over non-source nodes.
@@ -45,14 +47,20 @@ func meanFromHistogram(hist []int64) float64 {
 // BFS runs a breadth-first search over the whole k!-state space from node
 // src, using unit link weights. It errors if k exceeds MaxExplicitK.
 //
-// BFS dispatches between the two engines: the serial reference
-// implementation (BFSSerial) below parallelBFSThreshold states or on a
-// single-core runtime, and the level-synchronous parallel engine
-// (BFSParallel) above it. The two produce bit-for-bit identical results
-// (see TestParallelSerialEquivalence), so callers never observe the switch.
+// BFS dispatches between the engines: the serial reference implementation
+// (BFSSerial) below parallelBFSThreshold states, and the table-driven
+// bitset engines (BFSParallel on multi-core runtimes, BFSBitset otherwise)
+// above it. The bitset engines materialize the graph's precomposed
+// NeighborTable on first use; one-shot callers that must not leave the
+// n·deg·4-byte table resident should DropNeighborTable afterwards. All
+// engines produce bit-for-bit identical results (see
+// TestParallelSerialEquivalence), so callers never observe the switch.
 func (g *Graph) BFS(src perm.Perm) (*BFSResult, error) {
-	if g.Order() >= parallelBFSThreshold && runtime.GOMAXPROCS(0) > 1 {
-		return g.BFSParallel(src, 0)
+	if g.Order() >= parallelBFSThreshold {
+		if runtime.GOMAXPROCS(0) > 1 {
+			return g.BFSParallel(src, 0)
+		}
+		return g.BFSBitset(src)
 	}
 	return g.BFSSerial(src)
 }
@@ -61,10 +69,18 @@ func (g *Graph) BFS(src perm.Perm) (*BFSResult, error) {
 // and queue arrays plus the reusable permutation buffers of the edge kernel.
 // Factoring the per-node expansion into a method gives the allocation-free
 // inner loop a name the static analyzer (and the profiler) can anchor to.
+//
+// Distances live in the compact 1-byte backing d8, which stores
+// distance+1 so the zero value already means "unreachable" (no sentinel
+// fill pass). If a search is about to record a distance beyond u8DistLimit
+// it widens once into d32 and finishes there (expandNodeWide) instead of
+// wrapping — no generator set we build comes near that diameter, so the
+// wide path is exercised only by the overflow-guard test.
 type serialBFS struct {
 	g         *Graph
 	k         int
-	dist      []int32
+	d8        []uint8
+	d32       []int32
 	queue     []int64
 	hist      []int64
 	reachable int64
@@ -72,25 +88,57 @@ type serialBFS struct {
 	scratch   []int
 }
 
-// expandNode relaxes every generator edge of one frontier node.
+// expandNode relaxes every generator edge of one frontier node. sd is the
+// stored (distance+1) value of r, which is exactly the true distance of
+// every child it discovers.
 //
 //scglint:hotpath per-node edge expansion: one unrank + |S| compose/rank probes per k!-space state
 func (s *serialBFS) expandNode(r int64) {
-	d := s.dist[r]
+	sd := s.d8[r]
 	perm.UnrankInto(s.k, r, s.cur, s.scratch)
 	for _, gp := range s.g.genPerms {
 		s.cur.ComposeInto(gp, s.next)
 		nr := s.next.RankBits()
-		if s.dist[nr] < 0 {
-			s.dist[nr] = d + 1
-			for len(s.hist) <= int(d)+1 {
+		if s.d8[nr] == 0 {
+			s.d8[nr] = sd + 1
+			for len(s.hist) <= int(sd) {
 				s.hist = append(s.hist, 0) //scglint:coldpath histogram growth is bounded by the diameter (<= maxPlausibleDiameter appends per search)
 			}
-			s.hist[d+1]++
+			s.hist[sd]++
 			s.reachable++
 			s.queue = append(s.queue, nr) //scglint:coldpath queue is preallocated to the full k! order; append never grows it
 		}
 	}
+}
+
+// expandNodeWide is expandNode against the int32 backing, used only after
+// an overflow widened the table mid-search.
+func (s *serialBFS) expandNodeWide(r int64) {
+	d := s.d32[r]
+	perm.UnrankInto(s.k, r, s.cur, s.scratch)
+	for _, gp := range s.g.genPerms {
+		s.cur.ComposeInto(gp, s.next)
+		nr := s.next.RankBits()
+		if s.d32[nr] < 0 {
+			s.d32[nr] = d + 1
+			for len(s.hist) <= int(d)+1 {
+				s.hist = append(s.hist, 0)
+			}
+			s.hist[d+1]++
+			s.reachable++
+			s.queue = append(s.queue, nr)
+		}
+	}
+}
+
+// widen converts the compact distance backing to int32 in place, preserving
+// every recorded distance.
+func (s *serialBFS) widen() {
+	s.d32 = make([]int32, len(s.d8))
+	for i, v := range s.d8 {
+		s.d32[i] = int32(v) - 1
+	}
+	s.d8 = nil
 }
 
 // BFSSerial is the single-threaded reference BFS engine. The queue and
@@ -110,23 +158,32 @@ func (g *Graph) BFSSerial(src perm.Perm) (*BFSResult, error) {
 	s := &serialBFS{
 		g:       g,
 		k:       k,
-		dist:    make([]int32, n),
+		d8:      make([]uint8, n),
 		queue:   make([]int64, 1, n),
 		hist:    make([]int64, 1, maxPlausibleDiameter),
 		cur:     make(perm.Perm, k),
 		next:    make(perm.Perm, k),
 		scratch: make([]int, k),
 	}
-	for i := range s.dist {
-		s.dist[i] = -1
-	}
 	srcRank := src.Rank()
-	s.dist[srcRank] = 0
+	s.d8[srcRank] = 1
 	s.queue[0] = srcRank
 	s.hist[0] = 1
 	s.reachable = 1
+	wide := false
 	for head := 0; head < len(s.queue); head++ {
-		s.expandNode(s.queue[head])
+		r := s.queue[head]
+		if !wide && int32(s.d8[r]) > u8DistLimit {
+			// r's children would land past the byte limit: fall back to
+			// the wide backing for the rest of the search.
+			s.widen()
+			wide = true
+		}
+		if wide {
+			s.expandNodeWide(r)
+		} else {
+			s.expandNode(r)
+		}
 	}
 	return &BFSResult{
 		Source:       srcRank,
@@ -134,7 +191,7 @@ func (g *Graph) BFSSerial(src perm.Perm) (*BFSResult, error) {
 		Eccentricity: len(s.hist) - 1,
 		Histogram:    s.hist,
 		Mean:         meanFromHistogram(s.hist),
-		Dist:         s.dist,
+		Dist:         DistTable{d8: s.d8, d32: s.d32},
 	}, nil
 }
 
@@ -257,7 +314,7 @@ func (g *Graph) BFSWeighted(src perm.Perm, weight []int) (*BFSResult, error) {
 		Eccentricity: int(maxD),
 		Histogram:    hist,
 		Mean:         meanFromHistogram(hist),
-		Dist:         dist,
+		Dist:         newDistTable32(dist),
 	}, nil
 }
 

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
-	"sync/atomic"
 
 	"repro/internal/perm"
 	"repro/internal/pool"
@@ -11,122 +11,192 @@ import (
 
 // parallelBFSThreshold is the graph order below which BFS keeps using the
 // serial reference engine: 8! = 40,320 states finish in ~10 ms serially,
-// under the per-level goroutine fan-out cost at typical core counts.
+// under the table-build and per-level fan-out cost of the bitset engines.
 const parallelBFSThreshold = 40320
 
-// bfsWorker is the per-goroutine state of the parallel engine: reusable
-// permutation buffers for the unrank/compose/rank edge kernel and a local
-// next-frontier slice that is merged at each level barrier. Workers persist
-// across levels so the buffers are allocated once per search.
-type bfsWorker struct {
-	cur, next perm.Perm
-	scratch   []int
-	out       []int64
+// bitsetBFS is the state of one table-driven bitset search. The frontier
+// and visited sets are word-packed bitsets over state ranks, and the edge
+// kernel is branch-free: each neighbor rank from the precomposed
+// NeighborTable is OR-ed into a next-frontier bitset unconditionally —
+// no per-edge visited check, no compare-and-swap, no permutation algebra.
+//
+// Parallelism is level-synchronous with no atomics at all: each worker
+// expands its shard of the current frontier's words into a private
+// full-size next-frontier bitset, and a second sharded pass merges the
+// private bitsets word-by-word (each merge worker owns a disjoint word
+// range, so every visited/dist write has exactly one writer). The two
+// pool.Each barriers give the happens-before edges. Bit order is fixed by
+// rank order, so the result — distance table, histogram, every derived
+// statistic — is identical bit-for-bit to BFSSerial's regardless of the
+// worker count.
+type bitsetBFS struct {
+	tbl     *NeighborTable
+	visited []uint64   // all states discovered so far
+	cur     []uint64   // the current frontier
+	wnext   [][]uint64 // per-worker private next-frontier accumulators
+	d8      []uint8    // compact distances (stored +1; 0 = unreachable)
+	d32     []int32    // wide fallback, non-nil only after an overflow widen
+	counts  []int64    // per-merge-worker newly discovered counts
 }
 
-// expandShard expands one contiguous frontier shard with the worker's
-// private buffers, claiming newly reached nodes by an atomic
-// compare-and-swap on the shared distance array (-1 -> d) and collecting
-// the winners into the worker's local next-frontier slice.
+// expandWords expands every frontier state in cur's word range [lo, hi)
+// into worker w's private next-frontier bitset: two array lookups and one
+// OR per edge.
 //
-//scglint:hotpath per-shard edge kernel of the parallel engine: unrank + compose + popcount rank + CAS per probe
-func (w *bfsWorker) expandShard(g *Graph, part []int64, dist []int32, d int32, k int) {
-	w.out = w.out[:0]
-	for _, r := range part {
-		perm.UnrankInto(k, r, w.cur, w.scratch)
-		for _, gp := range g.genPerms {
-			w.cur.ComposeInto(gp, w.next)
-			nr := w.next.RankBits()
-			if atomic.CompareAndSwapInt32(&dist[nr], -1, d) {
-				w.out = append(w.out, nr) //scglint:coldpath local frontier buffer is reused across levels and reaches steady capacity once the frontier peaks
+//scglint:hotpath bitset edge expansion: branch-free table-lookup + OR per edge over the frontier shard
+func (e *bitsetBFS) expandWords(w, lo, hi int) {
+	next := e.wnext[w]
+	nbr := e.tbl.nbr
+	deg := int64(e.tbl.deg)
+	for wi := lo; wi < hi; wi++ {
+		word := e.cur[wi]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			base := (int64(wi)<<6 + int64(b)) * deg
+			for _, nr := range nbr[base : base+deg] {
+				next[nr>>6] |= 1 << (nr & 63)
 			}
 		}
 	}
 }
 
-// BFSParallel is the level-synchronous parallel BFS engine. workers <= 0
-// means runtime.GOMAXPROCS(0).
+// mergeWords combines the workers' private next-frontier words in range
+// [lo, hi): OR them together (clearing the accumulators for the next
+// level), strip already-visited states, commit the survivors to visited
+// and the new frontier, and record their stored distance.
 //
-// Each level's frontier is split into contiguous shards, one per worker,
-// and the per-level fan-out runs on the audited pool.Each chokepoint (the
-// measurement packages spawn no raw goroutines; scglint's boundedspawn
-// analyzer enforces this). A worker expands its shard with private buffers,
-// claiming newly reached nodes by an atomic compare-and-swap on the shared
-// int32 distance array (-1 -> level+1); exactly one worker wins each node,
-// and whichever wins writes the same distance, because every frontier node
-// sits at exactly the current level. pool.Each calls the shard function
-// exactly once per shard index, so the per-shard buffer ws[wi] is touched
-// by exactly one goroutine. Claimed nodes go to the shard's local
-// next-frontier slice; at the level barrier the local slices are
-// concatenated in shard order. Node order inside a frontier may differ from
-// the serial queue, but the *set* of nodes per level — and therefore the
-// distance array, the histogram, and every derived statistic — is identical
-// bit-for-bit to BFSSerial's.
-func (g *Graph) BFSParallel(src perm.Perm, workers int) (*BFSResult, error) {
-	k := g.K()
-	if k > MaxExplicitK {
-		return nil, fmt.Errorf("core: BFSParallel: k=%d exceeds MaxExplicitK=%d (%d states)", k, MaxExplicitK, perm.Factorial(k))
-	}
-	if len(src) != k {
-		return nil, fmt.Errorf("core: BFSParallel: source has %d symbols, graph wants %d", len(src), k)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := perm.Factorial(k)
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	srcRank := src.Rank()
-	dist[srcRank] = 0
-
-	ws := make([]*bfsWorker, workers)
-	for i := range ws {
-		ws[i] = &bfsWorker{
-			cur:     make(perm.Perm, k),
-			next:    make(perm.Perm, k),
-			scratch: make([]int, k),
+//scglint:hotpath bitset level merge: word-wise OR/mask of the private frontiers plus one dist write per new state
+func (e *bitsetBFS) mergeWords(w, lo, hi int, stored uint8) {
+	var found int64
+	for wi := lo; wi < hi; wi++ {
+		var m uint64
+		for _, wn := range e.wnext {
+			m |= wn[wi]
+			wn[wi] = 0
+		}
+		m &^= e.visited[wi]
+		e.visited[wi] |= m
+		e.cur[wi] = m
+		found += int64(bits.OnesCount64(m))
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			e.d8[int64(wi)<<6+int64(b)] = stored
 		}
 	}
+	e.counts[w] = found
+}
 
-	frontier := make([]int64, 1, 1024)
-	frontier[0] = srcRank
-	spare := make([]int64, 0, 1024)
+// mergeWordsWide is mergeWords against the int32 backing, used only after
+// an overflow widened the table mid-search.
+func (e *bitsetBFS) mergeWordsWide(w, lo, hi int, d int32) {
+	var found int64
+	for wi := lo; wi < hi; wi++ {
+		var m uint64
+		for _, wn := range e.wnext {
+			m |= wn[wi]
+			wn[wi] = 0
+		}
+		m &^= e.visited[wi]
+		e.visited[wi] |= m
+		e.cur[wi] = m
+		found += int64(bits.OnesCount64(m))
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			e.d32[int64(wi)<<6+int64(b)] = d
+		}
+	}
+	e.counts[w] = found
+}
+
+// widen converts the compact distance backing to int32 in place.
+func (e *bitsetBFS) widen() {
+	e.d32 = make([]int32, len(e.d8))
+	for i, v := range e.d8 {
+		e.d32[i] = int32(v) - 1
+	}
+	e.d8 = nil
+}
+
+// bfsBitset is the shared driver of BFSBitset and BFSParallel. It
+// materializes the graph's precomposed neighbor table (memoized across
+// searches) and runs the level-synchronous bitset engine with the given
+// worker count.
+func (g *Graph) bfsBitset(src perm.Perm, workers int) (*BFSResult, error) {
+	k := g.K()
+	if k > MaxExplicitK {
+		return nil, fmt.Errorf("core: BFSBitset: k=%d exceeds MaxExplicitK=%d (%d states)", k, MaxExplicitK, perm.Factorial(k))
+	}
+	if len(src) != k {
+		return nil, fmt.Errorf("core: BFSBitset: source has %d symbols, graph wants %d", len(src), k)
+	}
+	tbl, err := g.EnsureNeighborTable(workers)
+	if err != nil {
+		return nil, err
+	}
+	n := tbl.n
+	words := int((n + 63) >> 6)
+	if workers > words {
+		workers = words
+	}
+	e := &bitsetBFS{
+		tbl:     tbl,
+		visited: make([]uint64, words),
+		cur:     make([]uint64, words),
+		wnext:   make([][]uint64, workers),
+		d8:      make([]uint8, n),
+		counts:  make([]int64, workers),
+	}
+	for i := range e.wnext {
+		e.wnext[i] = make([]uint64, words)
+	}
+	srcRank := src.Rank()
+	e.visited[srcRank>>6] |= 1 << (srcRank & 63)
+	e.cur[srcRank>>6] |= 1 << (srcRank & 63)
+	e.d8[srcRank] = 1
+
 	hist := make([]int64, 1, maxPlausibleDiameter)
 	hist[0] = 1
 	reachable := int64(1)
-
-	for level := int32(0); len(frontier) > 0; level++ {
-		active := workers
-		if len(frontier) < active {
-			active = len(frontier)
+	shard := (words + workers - 1) / workers
+	for d := int32(1); ; d++ {
+		if e.d32 == nil && d > u8DistLimit {
+			// This level's states would land past the byte limit: fall
+			// back to the wide backing for the rest of the search.
+			e.widen()
 		}
-		shard := (len(frontier) + active - 1) / active
-		// ceil-division can leave trailing workers with nothing (e.g. 11
-		// nodes over 7 workers = 6 shards of 2); shards counts only the
-		// non-empty ones.
-		shards := (len(frontier) + shard - 1) / shard
-		part := frontier
-		d := level + 1
-		pool.Each(shards, shards, func(wi int) {
-			lo := wi * shard
+		pool.Each(workers, workers, func(w int) {
+			lo := w * shard
 			hi := lo + shard
-			if hi > len(part) {
-				hi = len(part)
+			if hi > words {
+				hi = words
 			}
-			ws[wi].expandShard(g, part[lo:hi], dist, d, k)
+			e.expandWords(w, lo, hi)
 		})
-		next := spare[:0]
-		for wi := 0; wi < shards; wi++ {
-			next = append(next, ws[wi].out...)
+		stored := uint8(d + 1)
+		pool.Each(workers, workers, func(w int) {
+			lo := w * shard
+			hi := lo + shard
+			if hi > words {
+				hi = words
+			}
+			if e.d32 != nil {
+				e.mergeWordsWide(w, lo, hi, d)
+			} else {
+				e.mergeWords(w, lo, hi, stored)
+			}
+		})
+		var found int64
+		for _, c := range e.counts {
+			found += c
 		}
-		if len(next) > 0 {
-			hist = append(hist, int64(len(next)))
-			reachable += int64(len(next))
+		if found == 0 {
+			break
 		}
-		spare = frontier
-		frontier = next
+		hist = append(hist, found)
+		reachable += found
 	}
 
 	return &BFSResult{
@@ -135,6 +205,28 @@ func (g *Graph) BFSParallel(src perm.Perm, workers int) (*BFSResult, error) {
 		Eccentricity: len(hist) - 1,
 		Histogram:    hist,
 		Mean:         meanFromHistogram(hist),
-		Dist:         dist,
+		Dist:         DistTable{d8: e.d8, d32: e.d32},
 	}, nil
+}
+
+// BFSBitset runs the table-driven bitset engine single-threaded: same
+// branch-free inner loop as the parallel engine, no goroutines (pool.Each
+// degenerates to an inline call at one worker). On single-core runtimes
+// this is the fast path for large graphs once the neighbor table is
+// resident.
+func (g *Graph) BFSBitset(src perm.Perm) (*BFSResult, error) {
+	return g.bfsBitset(src, 1)
+}
+
+// BFSParallel is the level-synchronous parallel BFS engine over the
+// precomposed neighbor table; see bitsetBFS for the sharding and
+// determinism argument. workers <= 0 means runtime.GOMAXPROCS(0). The
+// per-level fan-out runs on the audited pool.Each chokepoint (the
+// measurement packages spawn no raw goroutines; scglint's boundedspawn
+// analyzer enforces this).
+func (g *Graph) BFSParallel(src perm.Perm, workers int) (*BFSResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return g.bfsBitset(src, workers)
 }

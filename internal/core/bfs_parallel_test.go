@@ -46,11 +46,11 @@ func equivalenceInstances(t *testing.T, maxK int) []*topology.Network {
 	return nws
 }
 
-// TestParallelSerialEquivalence checks that BFSParallel returns a
-// reflect.DeepEqual-identical BFSResult to the serial reference engine for
-// every family at every enumerable size with k <= 8, across several worker
-// counts (including workers > frontier width, which exercises the shard
-// clamping).
+// TestParallelSerialEquivalence checks that the table-driven bitset
+// engines (serial BFSBitset and BFSParallel at several worker counts,
+// including workers > frontier width, which exercises the shard clamping)
+// return a reflect.DeepEqual-identical BFSResult to the serial reference
+// engine for every family at every enumerable size with k <= 8.
 func TestParallelSerialEquivalence(t *testing.T) {
 	maxK := 8
 	if testing.Short() {
@@ -63,24 +63,34 @@ func TestParallelSerialEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: serial BFS: %v", g.Name(), err)
 		}
+		check := func(engine string, got *core.BFSResult) {
+			t.Helper()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: %s differs from serial:\ngot:    ecc=%d reach=%d hist=%v mean=%v\nserial: ecc=%d reach=%d hist=%v mean=%v",
+					g.Name(), engine,
+					got.Eccentricity, got.Reachable, got.Histogram, got.Mean,
+					want.Eccentricity, want.Reachable, want.Histogram, want.Mean)
+			}
+		}
+		bit, err := g.BFSBitset(src)
+		if err != nil {
+			t.Fatalf("%s: bitset BFS: %v", g.Name(), err)
+		}
+		check("bitset BFS", bit)
 		for _, workers := range []int{1, 2, 3, 7} {
 			got, err := g.BFSParallel(src, workers)
 			if err != nil {
 				t.Fatalf("%s: parallel BFS (workers=%d): %v", g.Name(), workers, err)
 			}
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("%s: parallel BFS (workers=%d) differs from serial:\nparallel: ecc=%d reach=%d hist=%v mean=%v\nserial:   ecc=%d reach=%d hist=%v mean=%v",
-					g.Name(), workers,
-					got.Eccentricity, got.Reachable, got.Histogram, got.Mean,
-					want.Eccentricity, want.Reachable, want.Histogram, want.Mean)
-			}
+			check("parallel BFS (workers="+string(rune('0'+workers))+")", got)
 		}
+		g.DropNeighborTable()
 	}
 }
 
 // TestParallelSerialEquivalenceK9Smoke runs one k = 9 instance (362,880
-// states) through both engines — large enough that the parallel path is the
-// one BFS would actually dispatch to on a multi-core machine.
+// states) through all three engines — large enough that the table engines
+// are the ones BFS would actually dispatch to.
 func TestParallelSerialEquivalenceK9Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("k=9 smoke skipped in -short mode")
@@ -95,6 +105,14 @@ func TestParallelSerialEquivalenceK9Smoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	bit, err := g.BFSBitset(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bit, want) {
+		t.Fatalf("star(9): bitset BFS differs from serial: ecc %d vs %d, reach %d vs %d",
+			bit.Eccentricity, want.Eccentricity, bit.Reachable, want.Reachable)
+	}
 	got, err := g.BFSParallel(src, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -103,6 +121,7 @@ func TestParallelSerialEquivalenceK9Smoke(t *testing.T) {
 		t.Fatalf("star(9): parallel BFS differs from serial: ecc %d vs %d, reach %d vs %d",
 			got.Eccentricity, want.Eccentricity, got.Reachable, want.Reachable)
 	}
+	g.DropNeighborTable()
 }
 
 // TestBFSDispatch pins the engine-selection contract: BFS must agree with
@@ -182,6 +201,33 @@ func BenchmarkBFSParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			g.DropNeighborTable()
+		})
+	}
+}
+
+// BenchmarkBFSBitset measures the table-resident serial bitset engine —
+// the steady-state cost of one full-graph search once the precomposed
+// neighbor table is built (the table build is benchmarked separately by
+// benchreport's neighbor-table entry).
+func BenchmarkBFSBitset(b *testing.B) {
+	for _, k := range []int{8, 9} {
+		b.Run(starName(k), func(b *testing.B) {
+			g := starGraph(b, k)
+			src := perm.Identity(k)
+			if _, err := g.EnsureNeighborTable(0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.BFSBitset(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			g.DropNeighborTable()
 		})
 	}
 }

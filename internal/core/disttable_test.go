@@ -1,0 +1,93 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/perm"
+)
+
+// cycleGraph returns the Cayley graph of the single insertion generator
+// I_k: the reachable component from any node is a directed cycle of k
+// states, so eccentricity = k-1 — a cheap way to manufacture distances
+// past an artificially lowered u8DistLimit.
+func cycleGraph(t testing.TB, k int) *Graph {
+	t.Helper()
+	set, err := gen.NewSet(k, gen.NewInsertion(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGraph("cycle", set)
+}
+
+func TestDistTableAt(t *testing.T) {
+	compact := DistTable{d8: []uint8{1, 0, 3}}
+	if compact.At(0) != 0 || compact.At(1) != -1 || compact.At(2) != 2 {
+		t.Fatalf("compact At = %d,%d,%d, want 0,-1,2", compact.At(0), compact.At(1), compact.At(2))
+	}
+	if !compact.IsCompact() || compact.Len() != 3 || compact.Bytes() != 3 {
+		t.Fatalf("compact meta: IsCompact=%v Len=%d Bytes=%d", compact.IsCompact(), compact.Len(), compact.Bytes())
+	}
+	wide := newDistTable32([]int32{0, -1, 2})
+	if wide.At(0) != 0 || wide.At(1) != -1 || wide.At(2) != 2 {
+		t.Fatal("wide At disagrees")
+	}
+	if wide.IsCompact() || wide.Bytes() != 12 {
+		t.Fatalf("wide meta: IsCompact=%v Bytes=%d", wide.IsCompact(), wide.Bytes())
+	}
+	if !reflect.DeepEqual(compact.Int32Slice(), []int32{0, -1, 2}) {
+		t.Fatalf("Int32Slice = %v", compact.Int32Slice())
+	}
+}
+
+// TestUint8OverflowGuard lowers u8DistLimit and requires every engine to
+// widen to the int32 backing instead of wrapping: the distances past the
+// limit must come back exact, bit-for-bit equal to an unconstrained run.
+func TestUint8OverflowGuard(t *testing.T) {
+	const k = 7 // cycle of 7 states, eccentricity 6
+	g := cycleGraph(t, k)
+	src := perm.Identity(k)
+
+	want, err := g.BFSSerial(src) // default limit: compact, no overflow
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Dist.IsCompact() {
+		t.Fatal("reference run should stay compact")
+	}
+	if want.Eccentricity != k-1 || want.Reachable != int64(k) {
+		t.Fatalf("cycle profile: ecc=%d reach=%d, want %d and %d", want.Eccentricity, want.Reachable, k-1, k)
+	}
+
+	defer func(old int32) { u8DistLimit = old }(u8DistLimit)
+	u8DistLimit = 3
+
+	engines := []struct {
+		name string
+		run  func() (*BFSResult, error)
+	}{
+		{"serial", func() (*BFSResult, error) { return g.BFSSerial(src) }},
+		{"bitset", func() (*BFSResult, error) { return g.BFSBitset(src) }},
+		{"parallel", func() (*BFSResult, error) { return g.BFSParallel(src, 3) }},
+	}
+	for _, e := range engines {
+		got, err := e.run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if got.Dist.IsCompact() {
+			t.Fatalf("%s: distances exceed u8DistLimit=%d but the table stayed compact", e.name, u8DistLimit)
+		}
+		if got.Eccentricity != want.Eccentricity || got.Reachable != want.Reachable {
+			t.Fatalf("%s: ecc=%d reach=%d, want %d and %d", e.name, got.Eccentricity, got.Reachable, want.Eccentricity, want.Reachable)
+		}
+		if !reflect.DeepEqual(got.Histogram, want.Histogram) {
+			t.Fatalf("%s: histogram %v, want %v", e.name, got.Histogram, want.Histogram)
+		}
+		if !reflect.DeepEqual(got.Dist.Int32Slice(), want.Dist.Int32Slice()) {
+			t.Fatalf("%s: widened distances disagree with the compact reference", e.name)
+		}
+	}
+	g.DropNeighborTable()
+}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gen"
 	"repro/internal/perm"
@@ -33,6 +34,11 @@ type Graph struct {
 	// case each pair of opposite links is viewed as one undirected edge
 	// (§3.2).
 	undirected bool
+
+	// mu guards tbl, the memoized precomposed neighbor table (built lazily
+	// by EnsureNeighborTable, released by DropNeighborTable).
+	mu  sync.Mutex
+	tbl *NeighborTable
 }
 
 // NewGraph builds a Cayley graph from a generator set. The name is used in

@@ -51,7 +51,7 @@ func (ig *IndexGraph) BFS(src int64) (*BFSResult, error) {
 		Eccentricity: len(hist) - 1,
 		Histogram:    hist,
 		Mean:         meanFromHistogram(hist),
-		Dist:         dist,
+		Dist:         newDistTable32(dist),
 	}, nil
 }
 

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/perm"
+)
+
+// TestNeighborTableMatchesComposeRank checks every row of a star-5 table
+// against the definition: entry (r, j) must equal Rank(Unrank(r) ∘ g_j).
+func TestNeighborTableMatchesComposeRank(t *testing.T) {
+	var gens []gen.Generator
+	for i := 2; i <= 5; i++ {
+		gens = append(gens, gen.NewTransposition(i))
+	}
+	set, err := gen.NewSet(5, gens...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph("star-5", set)
+	tbl, err := g.EnsureNeighborTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.K() != 5 || tbl.Degree() != len(gens) || tbl.Len() != 120 {
+		t.Fatalf("table meta: k=%d deg=%d n=%d", tbl.K(), tbl.Degree(), tbl.Len())
+	}
+	if tbl.Bytes() != 120*int64(len(gens))*4 {
+		t.Fatalf("Bytes() = %d", tbl.Bytes())
+	}
+	next := make(perm.Perm, 5)
+	for r := int64(0); r < tbl.Len(); r++ {
+		u := perm.Unrank(5, r)
+		row := tbl.Row(r)
+		for j, gp := range g.genPerms {
+			u.ComposeInto(gp, next)
+			if want := next.RankBits(); int64(row[j]) != want || tbl.At(r, j) != want {
+				t.Fatalf("entry (%d,%d) = %d, want %d", r, j, row[j], want)
+			}
+		}
+	}
+	// The table is memoized until dropped.
+	again, err := g.EnsureNeighborTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != tbl {
+		t.Fatal("EnsureNeighborTable rebuilt a memoized table")
+	}
+	g.DropNeighborTable()
+	fresh, err := g.EnsureNeighborTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == tbl {
+		t.Fatal("DropNeighborTable left the old table resident")
+	}
+	g.DropNeighborTable()
+}
+
+// FuzzNeighborTable builds precomposed tables for random inverse-closed
+// generator sets and requires every sampled row to agree with the direct
+// ComposeInto + RankBits computation, across worker counts.
+func FuzzNeighborTable(f *testing.F) {
+	f.Add(uint8(4), uint64(1), uint8(2))
+	f.Add(uint8(6), uint64(42), uint8(3))
+	f.Add(uint8(7), uint64(9), uint8(5))
+	f.Fuzz(func(t *testing.T, rawK uint8, seed uint64, rawCount uint8) {
+		k := 2 + int(rawK)%6 // 2..7
+		universe := fuzzGenUniverse(k)
+		rng := perm.NewRNG(seed)
+		count := 1 + int(rawCount)%4
+		var picked []gen.Generator
+		seen := map[string]bool{}
+		add := func(g gen.Generator) {
+			key := g.AsPerm(k).String()
+			if key == perm.Identity(k).String() || seen[key] {
+				return
+			}
+			seen[key] = true
+			picked = append(picked, g)
+		}
+		for i := 0; i < count; i++ {
+			g := universe[rng.Intn(len(universe))]
+			add(g)
+			add(g.Inverse(k))
+		}
+		if len(picked) == 0 {
+			t.Skip("all picks degenerate")
+		}
+		set, err := gen.NewSet(k, picked...)
+		if err != nil {
+			t.Fatalf("NewSet(k=%d, %v): %v", k, picked, err)
+		}
+		g := NewGraph("fuzz", set)
+		workers := 1 + int(seed%4)
+		tbl, err := g.EnsureNeighborTable(workers)
+		if err != nil {
+			t.Fatalf("EnsureNeighborTable(workers=%d): %v", workers, err)
+		}
+		n := tbl.Len()
+		next := make(perm.Perm, k)
+		stride := int64(1)
+		if n > 2048 {
+			stride = n / 1024
+		}
+		for r := int64(0); r < n; r += stride {
+			u := perm.Unrank(k, r)
+			row := tbl.Row(r)
+			for j, gp := range g.genPerms {
+				u.ComposeInto(gp, next)
+				if want := next.RankBits(); int64(row[j]) != want {
+					t.Fatalf("k=%d workers=%d: entry (%d,%d) = %d, want %d (set %v)", k, workers, r, j, row[j], want, set)
+				}
+			}
+		}
+	})
+}

@@ -98,14 +98,18 @@ search:
 }
 
 // WalkLinks applies the generator-index sequence to src and returns the end
-// node; used to validate ShortestPath results.
+// node; used to validate ShortestPath results. The walk ping-pongs between
+// two fixed buffers with ComposeInto, so it allocates the result and
+// nothing else regardless of path length.
 func (g *Graph) WalkLinks(src perm.Perm, links []int) (perm.Perm, error) {
 	cur := src.Clone()
+	buf := make(perm.Perm, len(src))
 	for _, li := range links {
 		if li < 0 || li >= len(g.genPerms) {
 			return nil, fmt.Errorf("core: WalkLinks: link %d out of range", li)
 		}
-		cur = cur.Compose(g.genPerms[li])
+		cur.ComposeInto(g.genPerms[li], buf)
+		cur, buf = buf, cur
 	}
 	return cur, nil
 }

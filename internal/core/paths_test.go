@@ -20,8 +20,8 @@ func TestShortestPathMatchesBFSDistance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if int32(len(path)) != res.Dist[dst.Rank()] {
-			t.Fatalf("path length %d != BFS distance %d for %v", len(path), res.Dist[dst.Rank()], dst)
+		if int32(len(path)) != res.Dist.At(dst.Rank()) {
+			t.Fatalf("path length %d != BFS distance %d for %v", len(path), res.Dist.At(dst.Rank()), dst)
 		}
 		end, err := g.WalkLinks(perm.Identity(5), path)
 		if err != nil {

@@ -90,6 +90,50 @@ func Parse(s string) (Perm, error) {
 	return New(symbols)
 }
 
+// ParseInto decodes the compact digit form (one digit per symbol, k <= 9)
+// into dst without allocating, returning the number of symbols written. It
+// is the warm-route fast path of Parse: inputs that are not pure digit
+// strings of length <= len(dst) — including the space-separated k >= 10
+// form — report ok = false and the caller falls back to Parse. ParseInto
+// does not validate that the digits form a permutation; pair it with
+// Valid.
+func ParseInto(s string, dst Perm) (n int, ok bool) {
+	if len(s) == 0 || len(s) > len(dst) || len(s) > 9 {
+		return 0, false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '1' || c > '9' {
+			return 0, false
+		}
+		dst[i] = int(c - '0')
+	}
+	return len(s), true
+}
+
+// Valid reports whether p is a genuine permutation of 1..len(p), using a
+// 64-bit seen-mask instead of Validate's allocated bool slice; k must be
+// <= 64 (always true below MaxRankK). It is the allocation-free request
+// validation of the route hot path.
+func (p Perm) Valid() bool {
+	k := len(p)
+	if k == 0 || k > 64 {
+		return false
+	}
+	var mask uint64
+	for _, v := range p {
+		if v < 1 || v > k {
+			return false
+		}
+		bit := uint64(1) << uint(v-1)
+		if mask&bit != 0 {
+			return false
+		}
+		mask |= bit
+	}
+	return true
+}
+
 // Validate reports whether p is a genuine permutation of 1..len(p).
 func (p Perm) Validate() error {
 	k := len(p)
@@ -256,10 +300,19 @@ func (p Perm) RotateSuffixRight(sh int) {
 	if sh == 0 {
 		return
 	}
-	buf := make([]int, sh)
-	copy(buf, p[1+m-sh:])
-	copy(p[1+sh:], p[1:1+m-sh])
-	copy(p[1:1+sh], buf)
+	// Triple reversal keeps the rotation in place with no scratch buffer,
+	// which keeps rotation-generator application allocation-free on the
+	// route hot path.
+	s := p[1:]
+	reverseInts(s)
+	reverseInts(s[:sh])
+	reverseInts(s[sh:])
+}
+
+func reverseInts(s []int) {
+	for a, b := 0, len(s)-1; a < b; a, b = a+1, b-1 {
+		s[a], s[b] = s[b], s[a]
+	}
 }
 
 // SwapBlocks exchanges the n-symbol block starting at 1-based position a

@@ -7,12 +7,15 @@ import (
 	"time"
 )
 
-// benchmarkRoute drives warm-cache /v1/route requests through the full
-// middleware stack. The telemetry-on and telemetry-off variants differ only
-// in Config.DisableTracing; cmd/benchreport runs the same pair in-process
-// and fails the build if the allocs/op delta is nonzero (pooled traces and
-// always-on atomic counters make tracing allocation-free).
-func benchmarkRoute(b *testing.B, disableTracing bool) {
+// benchmarkServerStack drives warm-cache /v1/route requests through the
+// full middleware stack (request construction, recorder, mux, deadline
+// context — costs net/http imposes per request, so this pair can never be
+// zero-alloc; BenchmarkRouteHot in route_hot_test.go measures the handler
+// itself, which must be). The telemetry-on and telemetry-off variants differ
+// only in Config.DisableTracing; cmd/benchreport runs the same pair
+// in-process and fails the build if the allocs/op delta is nonzero (pooled
+// traces and always-on atomic counters make tracing allocation-free).
+func benchmarkServerStack(b *testing.B, disableTracing bool) {
 	s := New(Config{
 		RequestTimeout: 30 * time.Second,
 		DisableTracing: disableTracing,
@@ -34,5 +37,5 @@ func benchmarkRoute(b *testing.B, disableTracing bool) {
 	}
 }
 
-func BenchmarkRouteTelemetryOn(b *testing.B)  { benchmarkRoute(b, false) }
-func BenchmarkRouteTelemetryOff(b *testing.B) { benchmarkRoute(b, true) }
+func BenchmarkServerStackTelemetryOn(b *testing.B)  { benchmarkServerStack(b, false) }
+func BenchmarkServerStackTelemetryOff(b *testing.B) { benchmarkServerStack(b, true) }

@@ -146,6 +146,11 @@ func (c *Cache) Profile(ctx context.Context, key Key) (*core.BFSResult, error) {
 	v, err := c.getOrBuild(ctx, cacheKey{kindProfile, key}, func() (any, int64, error) {
 		tr.Phase("build-profile")
 		res, err := nw.Graph().ExactProfile()
+		// Large instances run through the table-driven bitset engines,
+		// which memoize an n·deg·4-byte neighbor table on the graph; drop
+		// it so the LRU's accounting (networkBytes) stays honest for the
+		// resident topology.
+		nw.Graph().DropNeighborTable()
 		if err != nil {
 			return nil, 0, err
 		}
@@ -155,6 +160,22 @@ func (c *Cache) Profile(ctx context.Context, key Key) (*core.BFSResult, error) {
 		return nil, err
 	}
 	return v.(*core.BFSResult), nil
+}
+
+// CachedNetwork returns the resident materialized network for key without
+// building anything; ok is false on a cold key. It is the warm fast path of
+// /v1/route: a plain mutex-guarded map hit with no closure or interface
+// boxing, so the steady-state request allocates nothing here.
+func (c *Cache) CachedNetwork(key Key) (*topology.Network, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[cacheKey{kindNetwork, key}]
+	if !ok {
+		return nil, false
+	}
+	c.touch(e)
+	c.stats.Hits++
+	return e.val.(*topology.Network), true
 }
 
 // CachedProfile returns the resident exact profile for key without building
@@ -279,7 +300,8 @@ func networkBytes(nw *topology.Network) int64 {
 }
 
 // profileBytes estimates the resident footprint of an exact profile: the
-// rank-indexed int32 distance table dominates.
+// rank-indexed distance table dominates (1 byte per state in the compact
+// backing, 4 in the wide fallback).
 func profileBytes(res *core.BFSResult) int64 {
-	return int64(len(res.Dist))*4 + int64(len(res.Histogram))*8 + 256
+	return res.Dist.Bytes() + int64(len(res.Histogram))*8 + 256
 }

@@ -85,32 +85,31 @@ func parseNode(what, raw string, k int) (perm.Perm, error) {
 	return p, nil
 }
 
-// decodeRouteRequest accepts GET query parameters or a POST JSON body.
+// decodeRouteRequest accepts GET query parameters or a POST JSON body. The
+// POST decode lives in its own function so json.Decoder's &req escape cannot
+// force the GET path's request struct onto the heap.
 func decodeRouteRequest(w http.ResponseWriter, r *http.Request) (RouteRequest, error) {
-	var req RouteRequest
 	switch r.Method {
 	case http.MethodGet:
-		q := r.URL.Query()
-		req.Family = q.Get("family")
-		var err error
-		if req.L, err = intParam(q, "l"); err != nil {
+		var req RouteRequest
+		if err := parseRouteQuery(r.URL.RawQuery, &req); err != nil {
 			return req, err
 		}
-		if req.N, err = intParam(q, "n"); err != nil {
-			return req, err
-		}
-		req.Src = q.Get("src")
-		req.Dst = q.Get("dst")
 		return req, nil
 	case http.MethodPost:
-		r.Body = http.MaxBytesReader(w, r.Body, maxRouteBody)
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return req, fmt.Errorf("bad JSON body: %v", err)
-		}
-		return req, nil
+		return decodeRoutePost(w, r)
 	default:
-		return req, fmt.Errorf("method %s not allowed", r.Method)
+		return RouteRequest{}, fmt.Errorf("method %s not allowed", r.Method)
 	}
+}
+
+func decodeRoutePost(w http.ResponseWriter, r *http.Request) (RouteRequest, error) {
+	var req RouteRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxRouteBody)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return req, fmt.Errorf("bad JSON body: %v", err)
+	}
+	return req, nil
 }
 
 func intParam(q url.Values, name string) (int, error) {
@@ -143,56 +142,55 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) int {
 		return writeErr(w, http.StatusBadRequest, err.Error())
 	}
 	tr.Phase("cache")
-	nw, status, err := s.network(r.Context(), key)
-	if err != nil {
-		return writeErr(w, status, err.Error())
+	// Warm fast path: a resident network avoids the singleflight machinery
+	// (and its closure) entirely; cold keys take the building path once.
+	nw, ok := s.cache.CachedNetwork(key)
+	if !ok {
+		var status int
+		nw, status, err = s.network(r.Context(), key)
+		if err != nil {
+			return writeErr(w, status, err.Error())
+		}
 	}
-	src, err := parseNode("src", req.Src, nw.K())
+	sc := routeScratchPool.Get().(*routeScratch)
+	defer routeScratchPool.Put(sc)
+	src, err := parseNodeInto("src", req.Src, nw.K(), &sc.src)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, err.Error())
 	}
-	dst, err := parseNode("dst", req.Dst, nw.K())
+	dst, err := parseNodeInto("dst", req.Dst, nw.K(), &sc.dst)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, err.Error())
 	}
 	tr.Phase("solve")
-	moves, err := nw.Route(src, dst)
+	moves, err := sc.topo.RouteInto(nw, src, dst)
 	if err != nil {
 		return writeErr(w, http.StatusInternalServerError, "routing failed: "+err.Error())
 	}
 	tr.Phase("verify")
-	if err := nw.VerifyRoute(src, dst, moves); err != nil {
+	if err := sc.topo.VerifyRouteInto(nw, src, dst, moves); err != nil {
 		return writeErr(w, http.StatusInternalServerError, "route verification failed: "+err.Error())
 	}
 	tr.Phase("encode")
-	names := make([]string, len(moves))
-	for i, m := range moves {
-		names[i] = m.Name()
-	}
-	resp := RouteResponse{
-		Network:       nw.Name(),
-		K:             nw.K(),
-		Nodes:         nw.Nodes(),
-		Src:           src.String(),
-		Dst:           dst.String(),
-		Moves:         names,
-		Hops:          len(moves),
-		DiameterBound: nw.DiameterUpperBound(),
-		Verified:      true,
-	}
 	// Opportunistic exact distance: only when a completed profile job left
 	// the distance table resident — a route request never builds one.
+	exact, stretch := 0, 0.0
+	hasExact, hasStretch := false, false
 	if prof, ok := s.cache.CachedProfile(key); ok {
 		if d := routeDistance(prof, src, dst); d >= 0 {
-			exact := int(d)
-			resp.ExactDistance = &exact
+			exact, hasExact = int(d), true
 			if exact > 0 {
-				stretch := float64(resp.Hops) / float64(exact)
-				resp.Stretch = &stretch
+				stretch, hasStretch = float64(len(moves))/float64(exact), true
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sc.buf = appendRouteResponse(sc.buf[:0], nw, src, dst, moves, exact, hasExact, stretch, hasStretch)
+	h := w.Header()
+	if _, ok := h["Content-Type"]; !ok {
+		h.Set("Content-Type", "application/json")
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sc.buf)
 	return http.StatusOK
 }
 
@@ -214,7 +212,7 @@ func routeDistance(prof *core.BFSResult, src, dst perm.Perm) int32 {
 	for i, di := range dst {
 		u[i] = sinv[di-1]
 	}
-	return prof.Dist[perm.Perm(u).RankBits()]
+	return prof.Dist.At(perm.Perm(u).RankBits())
 }
 
 // validateRouteKey is the RouteRequest front of parseKey.

@@ -13,40 +13,8 @@ import (
 // By vertex symmetry this reduces to solving the ball-arrangement game from
 // configuration dst⁻¹ ∘ src to the identity.
 func (nw *Network) Route(src, dst perm.Perm) ([]gen.Generator, error) {
-	k := nw.K()
-	if len(src) != k || len(dst) != k {
-		return nil, fmt.Errorf("topology: Route: node labels must have %d symbols", k)
-	}
-	if err := src.Validate(); err != nil {
-		return nil, err
-	}
-	if err := dst.Validate(); err != nil {
-		return nil, err
-	}
-	u := dst.Inverse().Compose(src)
-	if nw.rotSubset != nil {
-		return nw.routeRotationSubset(u)
-	}
-	if nw.recursive != nil {
-		return nw.routeRecursive(u)
-	}
-	switch nw.family {
-	case Star:
-		return bag.SolveStar(u)
-	case Rotator:
-		return bag.SolveRotator(u)
-	case Pancake:
-		return solvePancake(u)
-	case BubbleSort:
-		return solveBubble(u)
-	case TranspositionNet:
-		return solveTranspositionNet(u)
-	default:
-		if !nw.hasRules {
-			return nil, fmt.Errorf("topology: Route: no routing algorithm for %v", nw.family)
-		}
-		return bag.Solve(nw.rules, u)
-	}
+	var sc RouteScratch
+	return sc.RouteInto(nw, src, dst)
 }
 
 // RouteLen returns the length of the route our algorithms produce from src
@@ -62,23 +30,8 @@ func (nw *Network) RouteLen(src, dst perm.Perm) (int, error) {
 // VerifyRoute replays moves from src and checks that every move is one of
 // the network's generators and that the walk ends at dst.
 func (nw *Network) VerifyRoute(src, dst perm.Perm, moves []gen.Generator) error {
-	k := nw.K()
-	set := nw.graph.GeneratorSet()
-	allowed := make(map[string]bool, set.Len())
-	for _, g := range set.Generators() {
-		allowed[g.AsPerm(k).String()] = true
-	}
-	cfg := src.Clone()
-	for idx, g := range moves {
-		if !allowed[g.AsPerm(k).String()] {
-			return fmt.Errorf("topology: VerifyRoute: move %d (%s) is not a link of %s", idx, g, nw.Name())
-		}
-		g.Apply(cfg)
-	}
-	if !cfg.Equal(dst) {
-		return fmt.Errorf("topology: VerifyRoute: walk ends at %v, want %v", cfg, dst)
-	}
-	return nil
+	var sc RouteScratch
+	return sc.VerifyRouteInto(nw, src, dst, moves)
 }
 
 // routeRotationSubset routes in a rotation-subset network: solve the
@@ -132,78 +85,6 @@ func (nw *Network) routeRecursive(u perm.Perm) ([]gen.Generator, error) {
 	return out, nil
 }
 
-// solvePancake sorts u to the identity with prefix reversals: bring the
-// largest misplaced symbol to the front, then flip it into place. At most
-// 2k-3 moves.
-func solvePancake(u perm.Perm) ([]gen.Generator, error) {
-	if err := u.Validate(); err != nil {
-		return nil, err
-	}
-	cfg := u.Clone()
-	k := len(cfg)
-	var moves []gen.Generator
-	apply := func(i int) {
-		g := gen.NewPrefixReversal(i)
-		g.Apply(cfg)
-		moves = append(moves, g)
-	}
-	for target := k; target >= 2; target-- {
-		if cfg[target-1] == target {
-			continue
-		}
-		pos := cfg.PositionOf(target)
-		if pos != 1 {
-			apply(pos)
-		}
-		apply(target)
-	}
-	if !cfg.IsIdentity() {
-		return nil, fmt.Errorf("topology: solvePancake: ended at %v", cfg)
-	}
-	return moves, nil
-}
-
-// solveBubble sorts u to the identity with adjacent position swaps
-// (insertion sort); at most k(k-1)/2 moves, which matches the bubble-sort
-// graph diameter.
-func solveBubble(u perm.Perm) ([]gen.Generator, error) {
-	if err := u.Validate(); err != nil {
-		return nil, err
-	}
-	cfg := u.Clone()
-	var moves []gen.Generator
-	for i := 1; i < len(cfg); i++ {
-		for j := i; j >= 1 && cfg[j] < cfg[j-1]; j-- {
-			g := gen.NewPositionSwap(j, j+1)
-			g.Apply(cfg)
-			moves = append(moves, g)
-		}
-	}
-	if !cfg.IsIdentity() {
-		return nil, fmt.Errorf("topology: solveBubble: ended at %v", cfg)
-	}
-	return moves, nil
-}
-
-// solveTranspositionNet sorts u with arbitrary position swaps (cycle
-// chasing); the number of moves, k minus the number of cycles, is the exact
-// graph distance in the transposition network.
-func solveTranspositionNet(u perm.Perm) ([]gen.Generator, error) {
-	if err := u.Validate(); err != nil {
-		return nil, err
-	}
-	cfg := u.Clone()
-	var moves []gen.Generator
-	for pos := 1; pos <= len(cfg); pos++ {
-		for cfg[pos-1] != pos {
-			other := cfg.PositionOf(pos)
-			g := gen.NewPositionSwap(pos, other)
-			g.Apply(cfg)
-			moves = append(moves, g)
-		}
-	}
-	if !cfg.IsIdentity() {
-		return nil, fmt.Errorf("topology: solveTranspositionNet: ended at %v", cfg)
-	}
-	return moves, nil
-}
+// The baseline solvers (pancake prefix-reversal sort, bubble insertion
+// sort, transposition cycle chasing) live on RouteScratch in scratch.go;
+// Route reaches them through RouteInto.

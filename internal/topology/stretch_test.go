@@ -59,7 +59,7 @@ func TestOptimalSolverMatchesBFS(t *testing.T) {
 		}
 		// Distance from u to identity: in the BFS-from-identity profile this
 		// is Dist over the reverse graph; for the undirected MS they agree.
-		exact := int(res.Dist[r])
+		exact := int(res.Dist.At(r))
 		if len(opt) != exact {
 			t.Errorf("%v: optimal solver %d, BFS distance %d", u, len(opt), exact)
 		}

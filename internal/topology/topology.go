@@ -109,6 +109,13 @@ type Network struct {
 	// recursive, when non-nil, marks a recursive MS (§3.3.4); routing
 	// expands outer nucleus transpositions into inner-MS words.
 	recursive *recursiveSpec
+	// allowed/allowedPerm/names are precomputed per-network lookup tables for
+	// the allocation-free route path: generator membership by value, by
+	// action (for client-supplied moves whose notation differs), and the
+	// rendered paper notation of each link.
+	allowed     map[gen.Generator]bool
+	allowedPerm map[string]bool
+	names       map[gen.Generator]string
 }
 
 // Family returns the network's class.
@@ -170,14 +177,23 @@ func buildNetwork(family Family, name string, l, n, k int, gens []gen.Generator,
 	if err != nil {
 		return nil, fmt.Errorf("topology: %s: %v", name, err)
 	}
-	return &Network{
+	nw := &Network{
 		family:   family,
 		l:        l,
 		n:        n,
 		graph:    core.NewGraph(name, set),
 		rules:    rules,
 		hasRules: hasRules,
-	}, nil
+	}
+	nw.allowed = make(map[gen.Generator]bool, len(gens))
+	nw.allowedPerm = make(map[string]bool, len(gens))
+	nw.names = make(map[gen.Generator]string, len(gens))
+	for _, g := range set.Generators() {
+		nw.allowed[g] = true
+		nw.allowedPerm[g.AsPerm(k).String()] = true
+		nw.names[g] = g.Name()
+	}
+	return nw, nil
 }
 
 // --- nucleus-only families -------------------------------------------------
@@ -486,12 +502,42 @@ func AllFamilies() []Family {
 
 // ParseFamily resolves a family from its String() name (e.g. "MS",
 // "complete-RIS", "bubble-sort") — the inverse of Family.String, shared by
-// the CLI flag parsers and the scgd request decoder.
+// the CLI flag parsers and the scgd request decoder. The explicit switch
+// (rather than a scan over AllFamilies, which allocates) keeps request
+// decoding off the heap; TestParseFamilyRoundTrip pins the two in sync.
 func ParseFamily(name string) (Family, error) {
-	for _, f := range AllFamilies() {
-		if f.String() == name {
-			return f, nil
-		}
+	switch name {
+	case "star":
+		return Star, nil
+	case "rotator":
+		return Rotator, nil
+	case "pancake":
+		return Pancake, nil
+	case "bubble-sort":
+		return BubbleSort, nil
+	case "transposition":
+		return TranspositionNet, nil
+	case "IS":
+		return IS, nil
+	case "MS":
+		return MS, nil
+	case "RS":
+		return RS, nil
+	case "complete-RS":
+		return CompleteRS, nil
+	case "MR":
+		return MR, nil
+	case "RR":
+		return RR, nil
+	case "complete-RR":
+		return CompleteRR, nil
+	case "MIS":
+		return MIS, nil
+	case "RIS":
+		return RIS, nil
+	case "complete-RIS":
+		return CompleteRIS, nil
+	default:
+		return 0, fmt.Errorf("topology: ParseFamily: unknown family %q", name)
 	}
-	return 0, fmt.Errorf("topology: ParseFamily: unknown family %q", name)
 }

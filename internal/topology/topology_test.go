@@ -259,7 +259,7 @@ func TestRouteNeverBeatsBFS(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				exact := int(fromSrc.Dist[dst.Rank()])
+				exact := int(fromSrc.Dist.At(dst.Rank()))
 				if exact < 0 {
 					t.Fatalf("%s: %v unreachable from %v", nw.Name(), dst, src)
 				}
