@@ -23,11 +23,19 @@
 // Wall-clock ratios tolerate machine-to-machine noise (-max-ratio, default
 // 3x); allocation counts are deterministic and gate exactly.
 //
+// The -escapes flag is the compile-time sibling of -compare: it runs the
+// compiler's escape analysis over the module (optionally named as the one
+// positional argument, default ".") and checks every //scglint:hotpath
+// kernel against the committed results/escape_budget.json, exactly as
+// `scglint -escapes` does. Allocation counts measured at run time and
+// escapes proven at compile time gate side by side.
+//
 // Examples:
 //
 //	benchreport -out BENCH_baseline.json
 //	benchreport -quick -out bench_smoke.json   # CI smoke: k <= 8, 1 round
 //	benchreport -compare BENCH_baseline.json bench_smoke.json
+//	benchreport -escapes
 //	scglint -hotpath-report | benchreport -hotpath-report -
 package main
 
@@ -45,6 +53,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/lint"
 	"repro/internal/perm"
 	"repro/internal/server"
 	"repro/internal/topology"
@@ -91,6 +100,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel BFS worker count (0 = GOMAXPROCS)")
 		hotpaths    = flag.String("hotpath-report", "", "cross-check mode: read `scglint -hotpath-report` output from this file (- for stdin) and assert the annotated kernel set matches the benchmarked set")
 		compare     = flag.Bool("compare", false, "regression-gate mode: compare two reports (old.json new.json) instead of measuring")
+		escapes     = flag.Bool("escapes", false, "escape-gate mode: run go build -gcflags=-m and check //scglint:hotpath kernels against the committed escape budget")
 		maxRatio    = flag.Float64("max-ratio", 3.0, "compare mode: fail when new ns/op exceeds old by this factor")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -101,6 +111,18 @@ func main() {
 	}
 	if *hotpaths != "" {
 		os.Exit(crossCheckHotpaths(*hotpaths))
+	}
+	if *escapes {
+		dir := "."
+		if flag.NArg() == 1 {
+			dir = flag.Arg(0)
+		}
+		m, err := lint.Load(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(2)
+		}
+		os.Exit(lint.RunEscapeGate(m, "", false, os.Stdout, os.Stderr))
 	}
 	if *compare {
 		if flag.NArg() != 2 {

@@ -1,4 +1,4 @@
-// Command scglint is the project's static-analysis suite: thirteen custom
+// Command scglint is the project's static-analysis suite: sixteen custom
 // analyzers that machine-check the repository's correctness conventions
 // using only the standard library's go/ast, go/parser, go/token, and
 // go/types. Six guard sequential conventions (permalias, panicstyle,
@@ -8,13 +8,19 @@
 // engine's discipline: no shared scratch captured by concurrent closures,
 // no mixed atomic/plain access, Add-before-spawn / Done-in-defer, all
 // goroutine fan-out routed through the audited internal/pool chokepoint,
-// and statically auditable metric cardinality. Two are interprocedural
-// (hotalloc, ctxflow), built on a whole-module dataflow layer: hotalloc
-// proves the //scglint:hotpath-annotated kernels — and everything they
-// reach through the intra-module call graph — free of allocating
-// constructs, and ctxflow proves context.Context values thread through to
-// every context-accepting callee with no undeclared context.Background()
-// roots in the serving paths.
+// and statically auditable metric cardinality. Five are interprocedural,
+// built on a whole-module dataflow layer: hotalloc proves the
+// //scglint:hotpath-annotated kernels — and everything they reach through
+// the intra-module call graph — free of allocating constructs; ctxflow
+// proves context.Context values thread through to every context-accepting
+// callee with no undeclared context.Background() roots in the serving
+// paths; lockorder proves the module-wide lock-acquisition graph acyclic
+// (no AB/BA orderings, no re-acquiring a held lock through any call
+// chain) and flags locks held across blocking operations; goroleak proves
+// goroutine owners — tickers, cancel funcs, pool runners, samplers, and
+// unbuffered sends from spawned goroutines — are released or received on
+// every path; and escapegate (under -escapes) holds the hotpath kernels
+// to a committed compiler escape budget.
 //
 // Usage:
 //
@@ -28,6 +34,8 @@
 //	go run ./cmd/scglint -callgraph           # dump the hot call graph
 //	go run ./cmd/scglint -hotpath-report      # id/position/reason of hot roots
 //	go run ./cmd/scglint -facts-cache .scglint-facts ./...   # warm-run cache
+//	go run ./cmd/scglint -escapes ./...       # gate kernels on the escape budget
+//	go run ./cmd/scglint -escapes -escapes-update ./...   # rewrite the budget
 //
 // The driver exits 0 when the tree is clean, 1 when findings were reported,
 // and 2 when the module could not be loaded or the flags are invalid.
@@ -35,18 +43,26 @@
 // clone-before-capture, relocating WaitGroup Add/Done); -fix applies the
 // non-overlapping subset and -diff previews the same edits as a unified
 // diff without writing. -sarif emits a SARIF 2.1.0 log for CI code-scanning
-// annotation. Findings can be suppressed with an audited directive on the
+// annotation. -escapes runs `go build -gcflags=-m`, attributes the heap
+// escapes the compiler reports to the //scglint:hotpath kernels, and
+// compares the per-kernel counts against results/escape_budget.json in
+// both directions — new escapes fail with the compiler's diagnostic line,
+// and budgets looser than reality (or naming vanished kernels) fail as
+// stale. Findings can be suppressed with an audited directive on the
 // flagged statement (trailing, or on its own line above — covering the
 // statement's full line span when it wraps):
 //
 //	//scglint:ignore <analyzer> <reason>
 //
-// The interprocedural analyzers read three more directives, all with
+// The interprocedural analyzers read four more directives, all with
 // mandatory reasons: //scglint:hotpath <why> marks a function a hot-path
 // root, //scglint:coldpath <why> cuts call-graph edges into a function (or,
-// on a statement, exempts that statement's allocations), and
-// //scglint:ctxdetach <why> sanctions a deliberate context detach. Unused
-// or malformed directives are themselves findings.
+// on a statement, exempts that statement's allocations),
+// //scglint:ctxdetach <why> sanctions a deliberate context detach, and
+// //scglint:lockheld <why> sanctions a deliberate hold across a blocking
+// operation or a lock-order edge (a singleflight barrier, a mutex whose
+// critical section is the serialized write itself). Unused or malformed
+// directives are themselves findings.
 package main
 
 import (

@@ -112,6 +112,7 @@ func (g *Graph) EnsureNeighborTable(workers int) (*NeighborTable, error) {
 	if g.tbl != nil {
 		return g.tbl, nil
 	}
+	//scglint:lockheld memoized singleflight: the barrier under g.mu is the point — concurrent callers must wait for the one build rather than race their own
 	t, err := buildNeighborTable(g, workers)
 	if err != nil {
 		return nil, err

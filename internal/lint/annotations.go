@@ -7,13 +7,14 @@ import (
 
 // Dataflow annotations.
 //
-// The interprocedural layer understands three directives beyond
+// The interprocedural layer understands four directives beyond
 // //scglint:ignore, all with a mandatory free-text reason so the inventory
 // of exceptions never rots:
 //
 //	//scglint:hotpath <why this function must stay allocation-free>
 //	//scglint:coldpath <why this call or function is allowed to allocate>
 //	//scglint:ctxdetach <why a fresh context root is correct here>
+//	//scglint:lockheld <why this operation is safe under the held lock>
 //
 // hotpath attaches to a function declaration (in its doc comment, or as a
 // trailing comment on the func line) and makes it a root of the hot-path
@@ -33,6 +34,12 @@ import (
 // treat them as derived. Async jobs that outlive their submitting request
 // and graceful-shutdown deadlines are the two legitimate shapes.
 //
+// lockheld sanctions a blocking operation or lock-order edge the lockorder
+// analyzer would otherwise flag, on its line span. The canonical shapes: a
+// mutex that exists precisely to serialize writer I/O, a non-blocking
+// submit under an admission lock, a memoized build whose barrier is the
+// point of the lock.
+//
 // A directive that is malformed (missing reason, unknown verb), attached
 // to nothing, or never exercised by an analysis run is itself a finding,
 // so every annotation in the tree stays justified and load-bearing.
@@ -42,6 +49,7 @@ const (
 	annotHotpath   = "hotpath"
 	annotColdpath  = "coldpath"
 	annotCtxDetach = "ctxdetach"
+	annotLockHeld  = "lockheld"
 )
 
 // annotation is one parsed dataflow directive.
@@ -78,7 +86,7 @@ func parseAnnotation(body string) (kind, reason, malformed string, ok bool) {
 	}
 	verb = strings.TrimSpace(verb)
 	switch verb {
-	case annotHotpath, annotColdpath, annotCtxDetach:
+	case annotHotpath, annotColdpath, annotCtxDetach, annotLockHeld:
 		reason = strings.TrimSpace(rest)
 		if reason == "" {
 			return verb, "", "missing reason (write //scglint:" + verb + " <why>)", true
@@ -112,14 +120,17 @@ func collectAnnotations(m *Module, p *Package, f *ast.File) (anns []*annotation,
 			pos := m.sitePosAt(c.Pos())
 			if malformed != "" {
 				analyzer := "hotalloc"
-				if kind == annotCtxDetach {
+				switch kind {
+				case annotCtxDetach:
 					analyzer = "ctxflow"
+				case annotLockHeld:
+					analyzer = "lockorder"
 				}
 				diags = append(diags, factDiag{
 					Pos:      pos,
 					Analyzer: analyzer,
 					Message:  "malformed //scglint directive: " + malformed,
-					Hint:     "syntax: //scglint:{hotpath|coldpath|ctxdetach} <reason>",
+					Hint:     "syntax: //scglint:{hotpath|coldpath|ctxdetach|lockheld} <reason>",
 				})
 				continue
 			}
@@ -144,7 +155,7 @@ func collectAnnotations(m *Module, p *Package, f *ast.File) (anns []*annotation,
 			docLo = m.Fset.Position(fd.Doc.Pos()).Line
 		}
 		for _, ann := range anns {
-			if ann.Kind == annotCtxDetach || ann.FuncID != "" {
+			if ann.Kind == annotCtxDetach || ann.Kind == annotLockHeld || ann.FuncID != "" {
 				continue
 			}
 			if ann.Pos.Line >= docLo && ann.Pos.Line <= declLine {

@@ -44,6 +44,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		hotReport  = fs.Bool("hotpath-report", false, "list //scglint:hotpath roots (id, position, reason) and exit")
 		factsCache = fs.String("facts-cache", "", "directory for the on-disk facts cache (warm runs skip unchanged packages)")
 		hotDepth   = fs.Int("hotpath-depth", 0, "call-graph depth bound for hotalloc (default 8)")
+
+		escapes       = fs.Bool("escapes", false, "run go build -gcflags=-m and gate every //scglint:hotpath kernel against the committed escape budget")
+		escapesUpdate = fs.Bool("escapes-update", false, "with -escapes, rewrite the committed budget from the current compiler output")
+		escapeBudget  = fs.String("escape-budget", "", "escape budget file (default results/escape_budget.json under the module root)")
 	)
 	fs.Usage = func() {
 		_, _ = fmt.Fprintf(stderr, "usage: scglint [flags] [packages]\n\n")
@@ -69,17 +73,21 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return ExitClean
 	}
 	exclusive := 0
-	for _, on := range []bool{*jsonOut, *sarifOut, *diffOut, *callGraph, *hotReport} {
+	for _, on := range []bool{*jsonOut, *sarifOut, *diffOut, *callGraph, *hotReport, *escapes} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		_, _ = fmt.Fprintln(stderr, "scglint: -json, -sarif, -diff, -callgraph, and -hotpath-report are mutually exclusive")
+		_, _ = fmt.Fprintln(stderr, "scglint: -json, -sarif, -diff, -callgraph, -hotpath-report, and -escapes are mutually exclusive")
 		return ExitError
 	}
-	if *applyFix && (*jsonOut || *sarifOut || *callGraph || *hotReport) {
-		_, _ = fmt.Fprintln(stderr, "scglint: -fix cannot be combined with -json, -sarif, -callgraph, or -hotpath-report")
+	if *applyFix && (*jsonOut || *sarifOut || *callGraph || *hotReport || *escapes) {
+		_, _ = fmt.Fprintln(stderr, "scglint: -fix cannot be combined with -json, -sarif, -callgraph, -hotpath-report, or -escapes")
+		return ExitError
+	}
+	if *escapesUpdate && !*escapes {
+		_, _ = fmt.Fprintln(stderr, "scglint: -escapes-update requires -escapes")
 		return ExitError
 	}
 	analyzers, err := selectAnalyzers(*only, *skip)
@@ -101,6 +109,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	if *hotReport {
 		WriteHotpathReport(stdout, m)
 		return ExitClean
+	}
+	if *escapes {
+		return RunEscapeGate(m, *escapeBudget, *escapesUpdate, stdout, stderr)
 	}
 	findings := Run(m, analyzers)
 	if *showDocs && *factsCache != "" {

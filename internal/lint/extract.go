@@ -130,6 +130,7 @@ func extractFuncFacts(m *Module, p *Package, pf *pkgFacts, fd *ast.FuncDecl) *fu
 		ID:         funcID(p.Path, name),
 		Name:       name,
 		Pos:        m.sitePosAt(fd.Pos()),
+		EndLine:    m.Fset.Position(fd.End()).Line,
 		MainOrInit: fd.Recv == nil && (fd.Name.Name == "init" || (fd.Name.Name == "main" && p.Name == "main")),
 	}
 	e := &extractor{
@@ -152,6 +153,8 @@ func extractFuncFacts(m *Module, p *Package, pf *pkgFacts, fd *ast.FuncDecl) *fu
 
 	e.walk(fd)
 	e.ctxPostPass()
+	extractLockFacts(e, fd)
+	extractLeakFacts(e, fd)
 	return ff
 }
 

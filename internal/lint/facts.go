@@ -146,6 +146,9 @@ type funcFacts struct {
 	ID   string  `json:"id"`
 	Name string  `json:"name"`
 	Pos  sitePos `json:"pos"`
+	// EndLine is the last line of the declaration in Pos.File; the escape
+	// gate attributes compiler diagnostics to hotpath kernels by this span.
+	EndLine int `json:"end_line,omitempty"`
 	// HasCtx reports a context.Context parameter somewhere in the
 	// signature (including parameters of nested function literals).
 	HasCtx     bool `json:"has_ctx,omitempty"`
@@ -163,6 +166,12 @@ type funcFacts struct {
 	Allocs        []allocSite    `json:"allocs,omitempty"`
 	Calls         []callSite     `json:"calls,omitempty"`
 	CtxViolations []ctxViolation `json:"ctx,omitempty"`
+
+	// LockAcquires and HeldOps are the lock-discipline facts (lockfacts.go):
+	// every mutex acquisition with the locks already held there, and every
+	// call or directly blocking operation executed under at least one lock.
+	LockAcquires []lockAcquire `json:"lock_acquires,omitempty"`
+	HeldOps      []heldOp      `json:"held_ops,omitempty"`
 }
 
 // pkgFacts is the serializable facts record of one package.
@@ -339,6 +348,7 @@ func buildFacts(m *Module) *moduleFacts {
 
 	runHotWalk(m, mf)
 	runCtxAssembly(m, mf)
+	runLockOrder(m, mf)
 	sweepUnusedAnnotations(mf)
 	return mf
 }
@@ -560,8 +570,8 @@ func runCtxAssembly(m *Module, mf *moduleFacts) {
 	}
 }
 
-// sweepUnusedAnnotations flags coldpath/ctxdetach directives no analysis
-// consumed — the same never-rots contract ignore directives have.
+// sweepUnusedAnnotations flags coldpath/ctxdetach/lockheld directives no
+// analysis consumed — the same never-rots contract ignore directives have.
 func sweepUnusedAnnotations(mf *moduleFacts) {
 	for _, pkgPath := range sortedPkgPaths(mf) {
 		pf := mf.byPath[pkgPath]
@@ -580,6 +590,12 @@ func sweepUnusedAnnotations(mf *moduleFacts) {
 				mf.addFinding(pkgPath, factDiag{
 					Pos: ann.Pos, Analyzer: "ctxflow",
 					Message: "unused //scglint:ctxdetach directive (it sanctions no context violation)",
+					Hint:    "delete the directive",
+				})
+			case annotLockHeld:
+				mf.addFinding(pkgPath, factDiag{
+					Pos: ann.Pos, Analyzer: "lockorder",
+					Message: "unused //scglint:lockheld directive (it sanctions no lock-discipline finding)",
 					Hint:    "delete the directive",
 				})
 			}

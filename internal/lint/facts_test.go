@@ -103,7 +103,9 @@ func TestParseAnnotation(t *testing.T) {
 		{"hotpath keeps the kernel allocation-free", "hotpath", "", true},
 		{"coldpath error path may allocate", "coldpath", "", true},
 		{"ctxdetach job outlives the request", "ctxdetach", "", true},
+		{"lockheld the mutex exists to serialize this write", "lockheld", "", true},
 		{"hotpath", "hotpath", "missing reason", true},
+		{"lockheld", "lockheld", "missing reason", true},
 		{"coldpath ", "coldpath", "missing reason", true},
 		{"ctxdetach\t", "ctxdetach", "missing reason", true},
 		{"hotpathz typo verb", "hotpathz", "unknown directive", true},

@@ -14,7 +14,7 @@ import (
 // factsSchema versions the on-disk facts format: bump it whenever the
 // extraction rules or the serialized shapes change, and every stale entry
 // misses cleanly.
-const factsSchema = "scglint-facts/v1"
+const factsSchema = "scglint-facts/v2" // v2: lock/leak facts, funcFacts.EndLine
 
 // factsCache is the on-disk per-package facts store. A nil *factsCache is
 // valid and always misses, so callers never branch on configuration; every

@@ -76,6 +76,8 @@ func FuzzAnnotationDirective(f *testing.F) {
 		"hotpath per-edge kernel of the BFS engines",
 		"coldpath error path may allocate",
 		"ctxdetach async job outlives the request",
+		"lockheld the mutex serializes writer I/O",
+		"lockheld",
 		"hotpath",
 		"coldpath ",
 		"ctxdetach\t",
@@ -102,7 +104,7 @@ func FuzzAnnotationDirective(f *testing.F) {
 		}
 		switch {
 		case malformed == "":
-			if kind != annotHotpath && kind != annotColdpath && kind != annotCtxDetach {
+			if kind != annotHotpath && kind != annotColdpath && kind != annotCtxDetach && kind != annotLockHeld {
 				t.Fatalf("well-formed directive with unknown verb %q: %q", kind, body)
 			}
 			if strings.TrimSpace(reason) == "" {

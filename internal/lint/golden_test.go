@@ -113,3 +113,5 @@ func TestBoundedSpawnGolden(t *testing.T)     { runFixture(t, "boundedspawn") }
 func TestTelemetryLabelGolden(t *testing.T)   { runFixture(t, "telemetrylabel") }
 func TestHotAllocGolden(t *testing.T)         { runFixture(t, "hotalloc") }
 func TestCtxFlowGolden(t *testing.T)          { runFixture(t, "ctxflow") }
+func TestLockOrderGolden(t *testing.T)        { runFixture(t, "lockorder") }
+func TestGoroLeakGolden(t *testing.T)         { runFixture(t, "goroleak") }

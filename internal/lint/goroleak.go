@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroleak: goroutine and resource leaks with a static shape.
+//
+//   - A function-local time.NewTicker whose Stop is never called and that
+//     never escapes the function leaks its runtime timer.
+//   - A context.WithCancel/WithTimeout/WithDeadline whose CancelFunc is
+//     bound to the blank identifier can never be released: the context's
+//     timer and propagation goroutine live until the parent dies.
+//   - In the spawn-audited packages (the boundedspawn set), a bare send on
+//     a function-local unbuffered channel from inside a spawned function
+//     body blocks forever when every receiver is conditional (the classic
+//     abandoned-result leak); an unconditional receive in the creating
+//     function, a buffered channel, or a select around the send are the
+//     accepted shapes.
+//   - A function-local pool.NewRunner / telemetry.NewSampler value that is
+//     neither closed/stopped nor handed off leaks its worker goroutines.
+//
+// All checks are function-local and run at fact-extraction time; the
+// analyzer replays the recorded diagnostics per package.
+var analyzerGoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "tickers, cancel funcs, unbuffered sends in spawned goroutines, and pool runners must have a reachable stop/receive/close",
+	Run: func(p *Package, report Reporter) {
+		replayFactDiags(p, "goroleak", report)
+	},
+	needsFacts: true,
+}
+
+// extractLeakFacts records the goroleak diagnostics of one declaration
+// into the package facts.
+func extractLeakFacts(e *extractor, fd *ast.FuncDecl) {
+	checkTickerAndOwners(e, fd)
+	checkDiscardedCancel(e, fd)
+	if pathHasSuffix(e.p.Path, boundedSpawnPackages...) {
+		checkUnbufferedSends(e, fd)
+	}
+}
+
+func (e *extractor) leakDiag(pos sitePos, message, hint string) {
+	e.pf.Diags = append(e.pf.Diags, factDiag{
+		Pos: pos, Analyzer: "goroleak", Message: message, Hint: hint,
+	})
+}
+
+// ownedCtor matches the constructors whose results own goroutines or
+// timers and names the method that releases them.
+func ownedCtor(p *Package, call *ast.CallExpr) (what, stop string, ok bool) {
+	pkgPath, name, isSel := pkgSelector(p, ast.Unparen(call.Fun))
+	if !isSel {
+		return "", "", false
+	}
+	switch {
+	case pkgPath == "time" && name == "NewTicker":
+		return "time.NewTicker", "Stop", true
+	case pathHasSuffix(pkgPath, "internal/pool") && name == "NewRunner":
+		return "pool.NewRunner", "Close", true
+	case pathHasSuffix(pkgPath, "internal/telemetry") && name == "NewSampler":
+		return "telemetry.NewSampler", "Stop", true
+	}
+	return "", "", false
+}
+
+// checkTickerAndOwners flags goroutine/timer owners (tickers, runners,
+// samplers) bound to a local variable with no reachable release call and
+// no escape out of the function.
+func checkTickerAndOwners(e *extractor, fd *ast.FuncDecl) {
+	type owner struct {
+		what, stop string
+		pos        sitePos
+	}
+	owners := make(map[types.Object]owner)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		what, stop, matched := ownedCtor(e.p, call)
+		if !matched {
+			return true
+		}
+		id, isIdent := as.Lhs[0].(*ast.Ident)
+		if !isIdent || id.Name == "_" {
+			return true
+		}
+		if obj := identUse(e.p, id); obj != nil {
+			owners[obj] = owner{what: what, stop: stop, pos: e.m.sitePosAt(call.Pos())}
+		}
+		return true
+	})
+	if len(owners) == 0 {
+		return
+	}
+	released := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+	// A use as the receiver of the release method releases; a use as the
+	// receiver of any method or field keeps ownership local; any other use
+	// (argument, return, store, composite element) hands the value off.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := e.p.Info.Uses[id]
+		own, isOwner := owners[obj]
+		if !isOwner {
+			return true
+		}
+		if len(stack) >= 2 {
+			if sel, isSel := stack[len(stack)-2].(*ast.SelectorExpr); isSel && sel.X == id {
+				if sel.Sel.Name == own.stop {
+					released[obj] = true
+				}
+				return true
+			}
+			// The defining assignment's LHS is not an escape.
+			if as, isAs := stack[len(stack)-2].(*ast.AssignStmt); isAs {
+				for _, l := range as.Lhs {
+					if l == ast.Expr(id) {
+						return true
+					}
+				}
+			}
+		}
+		escaped[obj] = true
+		return true
+	})
+	for obj, own := range owners {
+		if released[obj] || escaped[obj] {
+			continue
+		}
+		e.leakDiag(own.pos,
+			own.what+" result is never "+ // "stopped" / "closed"
+				map[string]string{"Stop": "stopped", "Close": "closed"}[own.stop]+
+				" and never escapes: its goroutine leaks",
+			"defer the "+own.stop+" call, or hand the value to an owner that releases it")
+	}
+}
+
+// checkDiscardedCancel flags context constructors whose CancelFunc is
+// discarded into the blank identifier.
+func checkDiscardedCancel(e *extractor, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		pkgPath, name, isSel := pkgSelector(e.p, ast.Unparen(call.Fun))
+		if !isSel || pkgPath != "context" {
+			return true
+		}
+		switch name {
+		case "WithCancel", "WithTimeout", "WithDeadline":
+		default:
+			return true
+		}
+		if id, isIdent := as.Lhs[1].(*ast.Ident); isIdent && id.Name == "_" {
+			e.leakDiag(e.m.sitePosAt(as.Lhs[1].Pos()),
+				"the CancelFunc from context."+name+" is discarded: the context and its resources can never be released",
+				"bind the cancel function and defer cancel()")
+		}
+		return true
+	})
+}
+
+// checkUnbufferedSends flags bare sends on function-local unbuffered
+// channels from inside spawned function bodies when the creating function
+// has no unconditional receive on the channel.
+func checkUnbufferedSends(e *extractor, fd *ast.FuncDecl) {
+	// Local unbuffered channels: ch := make(chan T) / make(chan T, 0).
+	unbuffered := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if b, isB := identUse(e.p, ast.Unparen(call.Fun)).(*types.Builtin); !isB || b.Name() != "make" {
+			return true
+		}
+		if tv, found := e.p.Info.Types[call]; !found || tv.Type == nil {
+			return true
+		} else if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		if len(call.Args) >= 2 {
+			tv, found := e.p.Info.Types[call.Args[1]]
+			if !found || tv.Value == nil || tv.Value.String() != "0" {
+				return true // non-constant or non-zero capacity: buffered
+			}
+		}
+		if id, isIdent := as.Lhs[0].(*ast.Ident); isIdent && id.Name != "_" {
+			if obj := identUse(e.p, id); obj != nil {
+				unbuffered[obj] = true
+			}
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+
+	// Guaranteed receivers: an unconditional receive or range on the
+	// channel anywhere outside a select (a select's receive can abandon
+	// the sender through its other cases).
+	guaranteed := make(map[types.Object]bool)
+	chanObj := func(x ast.Expr) types.Object {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := e.p.Info.Uses[id]
+		if unbuffered[obj] {
+			return obj
+		}
+		return nil
+	}
+	var inspect func(n ast.Node, inSelect bool)
+	inspect = func(root ast.Node, inSelect bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.SelectStmt:
+				for _, cl := range t.Body.List {
+					inspect(cl, true)
+				}
+				return false
+			case *ast.UnaryExpr:
+				if t.Op == token.ARROW && !inSelect {
+					if obj := chanObj(t.X); obj != nil {
+						guaranteed[obj] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if !inSelect {
+					if obj := chanObj(t.X); obj != nil {
+						guaranteed[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	inspect(fd.Body, false)
+
+	// Bare sends inside spawned bodies (go statements and function
+	// literals — literals in these packages run via the pool primitives).
+	var walkSpawned func(n ast.Node, spawned, inSelect bool)
+	walkSpawned = func(root ast.Node, spawned, inSelect bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.FuncLit:
+				walkSpawned(t.Body, true, false)
+				return false
+			case *ast.SelectStmt:
+				for _, cl := range t.Body.List {
+					walkSpawned(cl, spawned, true)
+				}
+				return false
+			case *ast.SendStmt:
+				if !spawned || inSelect {
+					return true
+				}
+				obj := chanObj(t.Chan)
+				if obj == nil || guaranteed[obj] {
+					return true
+				}
+				e.leakDiag(e.m.sitePosAt(t.Arrow),
+					"send on unbuffered channel from a spawned goroutine has no guaranteed receiver: the goroutine can leak",
+					"buffer the channel (capacity 1), or receive from it unconditionally in the spawning function")
+			}
+			return true
+		})
+	}
+	walkSpawned(fd.Body, false, false)
+}

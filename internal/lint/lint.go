@@ -115,6 +115,9 @@ func Analyzers() []*Analyzer {
 		analyzerTelemetryLabel,
 		analyzerHotAlloc,
 		analyzerCtxFlow,
+		analyzerLockOrder,
+		analyzerGoroLeak,
+		analyzerEscapeGate,
 	}
 }
 

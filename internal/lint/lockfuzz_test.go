@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// lockFuzzPreamble wraps the fuzzed statements in a package that already
+// declares every identifier the seeds lean on: two plain mutexes, an
+// RWMutex, an unbuffered channel, a struct-held mutex, and a helper that
+// the interprocedural summaries can chase.
+const lockFuzzPreamble = `package p
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu, mu2 sync.Mutex
+	rw      sync.RWMutex
+	ch      = make(chan int)
+	_       = time.Sleep
+)
+
+type T struct {
+	mu sync.Mutex
+}
+
+var tv T
+
+func helper() {
+	mu2.Lock()
+	mu2.Unlock()
+}
+
+func target() {
+`
+
+var (
+	lockFuzzImporterOnce sync.Once
+	lockFuzzImporter     types.Importer
+)
+
+// sharedLockFuzzImporter reuses one source importer across fuzz
+// executions so sync/time are type-checked once per worker process.
+func sharedLockFuzzImporter() types.Importer {
+	lockFuzzImporterOnce.Do(func() {
+		lockFuzzImporter = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	return lockFuzzImporter
+}
+
+// FuzzLockFacts hammers the lock-facts extractor with arbitrary function
+// bodies: unmatched unlocks, double locks, defer-unlock without a lock,
+// read/write pair mixups, sends and selects under a lock, goroutine
+// literals. Bodies that do not parse or type-check are skipped; everything
+// that does must flow through extraction and the module lock pass without
+// panicking, and the recorded facts must satisfy the basic shape
+// invariants the analyzer relies on.
+func FuzzLockFacts(f *testing.F) {
+	for _, seed := range []string{
+		"mu.Lock()\nmu.Unlock()",
+		"mu.Unlock()",
+		"mu.Lock()\nmu.Lock()",
+		"defer mu.Unlock()",
+		"mu.Lock()\ndefer mu.Unlock()\nch <- 1",
+		"rw.RLock()\nmu.Unlock()\nrw.RUnlock()",
+		"rw.Lock()\nrw.RUnlock()",
+		"mu.Lock()\nch <- 1\nmu.Unlock()",
+		"mu.Lock()\nselect {\ncase <-ch:\ndefault:\n}\nmu.Unlock()",
+		"mu.Lock()\nselect {\ncase <-ch:\n}\nmu.Unlock()",
+		"go func() {\n\tmu.Lock()\n}()",
+		"tv.mu.Lock()\nmu2.Lock()\nmu2.Unlock()\ntv.mu.Unlock()",
+		"if len(ch) == 0 {\n\tmu.Lock()\n}\nmu.Unlock()",
+		"for {\n\tmu.Lock()\n}",
+		"mu.Lock()\nhelper()\nmu.Unlock()",
+		"mu.Lock()\ntime.Sleep(1)\nmu.Unlock()",
+		"var local sync.Mutex\nlocal.Lock()\nlocal.Unlock()",
+		"mu.Lock()\nfor range ch {\n}\nmu.Unlock()",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := lockFuzzPreamble + body + "\n}\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip("body does not parse")
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: sharedLockFuzzImporter()}
+		tpkg, err := conf.Check("fuzzmod/p", fset, []*ast.File{file}, info)
+		if err != nil {
+			t.Skip("body does not type-check")
+		}
+		m := &Module{Dir: "/fuzzmod", Path: "fuzzmod", Fset: fset}
+		p := &Package{
+			Path:  "fuzzmod/p",
+			Name:  "p",
+			Dir:   "/fuzzmod/p",
+			Fset:  fset,
+			Files: []*ast.File{file},
+			Types: tpkg,
+			Info:  info,
+		}
+		m.Packages = []*Package{p}
+
+		// Extraction must not panic, whatever the pairing discipline.
+		pf := extractPackageFacts(m, p)
+		mf := &moduleFacts{
+			byPath:   map[string]*pkgFacts{p.Path: pf},
+			fn:       make(map[string]funcRef),
+			findings: make(map[string][]factDiag),
+		}
+		for _, id := range pf.FuncIDs {
+			ff := pf.Funcs[id]
+			mf.fn[ff.ID] = funcRef{pf, ff}
+
+			for _, la := range ff.LockAcquires {
+				if la.Lock == "" {
+					t.Fatalf("%s: lock acquire with empty identity at %s:%d", ff.ID, la.Pos.File, la.Pos.Line)
+				}
+				for _, h := range la.Held {
+					if h == "" {
+						t.Fatalf("%s: empty held-lock identity in acquire at %s:%d", ff.ID, la.Pos.File, la.Pos.Line)
+					}
+				}
+			}
+			for _, op := range ff.HeldOps {
+				if op.Kind != "call" && op.Kind != "block" {
+					t.Fatalf("%s: held op with kind %q", ff.ID, op.Kind)
+				}
+				if len(op.Held) == 0 {
+					t.Fatalf("%s: held op at %s:%d holds nothing", ff.ID, op.Pos.File, op.Pos.Line)
+				}
+				if op.Kind == "block" && !strings.Contains(op.What, " ") {
+					t.Fatalf("%s: blocking op with unreadable description %q", ff.ID, op.What)
+				}
+			}
+		}
+
+		// The module lock pass (graph build, transitive summaries, cycle
+		// detection) must also hold up on whatever extraction recorded.
+		runLockOrder(m, mf)
+	})
+}

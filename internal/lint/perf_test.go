@@ -45,8 +45,9 @@ func minRunTimes(m *Module, a, b []*Analyzer, rounds int) (bestA, bestB time.Dur
 }
 
 // TestRepoCleanUnderAllAnalyzers pins two release invariants at once: the
-// repository's own tree is clean under the full analyzer catalog (thirteen
-// analyzers, including the interprocedural hotalloc and ctxflow), and it
+// repository's own tree is clean under the full analyzer catalog (sixteen
+// analyzers, including the interprocedural hotalloc, ctxflow, lockorder,
+// and goroleak), and it
 // gets there with zero suppressions (no //scglint:ignore directives in
 // production code — testdata is outside the loader's scope; the dataflow
 // annotations carry mandatory reasons and are audited by the analyzers
@@ -67,12 +68,13 @@ func TestRepoCleanUnderAllAnalyzers(t *testing.T) {
 }
 
 // TestSharedPassCost guards the one-pass design claim: with the shared node
-// index and the precomputed dataflow facts, running the full thirteen-analyzer
+// index and the precomputed dataflow facts, running the full sixteen-analyzer
 // catalog must not cost materially more than running the original six
-// analyzers. Without the shared index, thirteen independent AST walks would
+// analyzers. Without the shared index, sixteen independent AST walks would
 // run well past 1.7x the six-analyzer time; the index keeps the marginal
-// syntactic analyzer near-free, and the interprocedural pair (hotalloc,
-// ctxflow) replays findings from the facts store built once per module, so
+// syntactic analyzer near-free, and the interprocedural analyzers (hotalloc,
+// ctxflow, lockorder, goroleak — escapegate contributes nothing outside
+// -escapes) replay findings from the facts store built once per module, so
 // 1.5x is a loose bound that still catches a regression to per-analyzer
 // walks or to per-run fact extraction. The warm-up Run builds both the
 // index and the facts store before timing — the claim is about the warm

@@ -1,0 +1,3 @@
+module fixleak
+
+go 1.22

@@ -1,0 +1,20 @@
+// Package lib sits outside the spawn-audited set: the abandoned-send
+// check does not apply here (the owner-and-cancel checks still do).
+package lib
+
+func compute() int { return 2 }
+
+// AbandonedSendUnaudited would be flagged inside the audited packages;
+// here the pattern is the caller's own business.
+func AbandonedSendUnaudited(done chan struct{}) int {
+	res := make(chan int)
+	go func() {
+		res <- compute()
+	}()
+	select {
+	case v := <-res:
+		return v
+	case <-done:
+		return 0
+	}
+}

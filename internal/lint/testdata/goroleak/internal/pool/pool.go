@@ -1,0 +1,14 @@
+// Package pool is the fixture stand-in for the real worker pool: goroleak
+// matches its constructors by import-path suffix.
+package pool
+
+// Runner owns worker goroutines until Close.
+type Runner struct{ tasks chan func() }
+
+func NewRunner(workers, queue int) *Runner {
+	return &Runner{tasks: make(chan func(), queue)}
+}
+
+func (r *Runner) Submit(fn func()) bool { return true }
+
+func (r *Runner) Close() {}

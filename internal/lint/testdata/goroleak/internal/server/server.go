@@ -1,0 +1,130 @@
+// Package server exercises goroleak inside a spawn-audited package:
+// leaked tickers, discarded cancel funcs, abandoned unbuffered sends, and
+// unreleased goroutine owners, next to every accepted shape.
+package server
+
+import (
+	"context"
+	"time"
+
+	"fixleak/internal/pool"
+	"fixleak/internal/telemetry"
+)
+
+func compute() int { return 1 }
+
+// TickerLeak never stops the ticker and never hands it off.
+func TickerLeak() {
+	t := time.NewTicker(time.Second) //lintwant time.NewTicker result is never stopped
+	<-t.C
+}
+
+// TickerStopped defers the release: fine.
+func TickerStopped() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+// TickerHandoff escapes to a caller who owns it: fine.
+func TickerHandoff() *time.Ticker {
+	t := time.NewTicker(time.Second)
+	return t
+}
+
+// CancelDiscarded can never release the context's timer.
+func CancelDiscarded(ctx context.Context) context.Context {
+	tctx, _ := context.WithTimeout(ctx, time.Second) //lintwant CancelFunc from context.WithTimeout is discarded
+	return tctx
+}
+
+// CancelDeferred is the accepted shape.
+func CancelDeferred(ctx context.Context) {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_ = tctx
+}
+
+// AbandonedSend parks the spawned goroutine forever when the select takes
+// ctx.Done first: nothing ever receives from res.
+func AbandonedSend(ctx context.Context) int {
+	res := make(chan int)
+	go func() {
+		res <- compute() //lintwant send on unbuffered channel from a spawned goroutine has no guaranteed receiver
+	}()
+	select {
+	case v := <-res:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// BufferedSend cannot park: capacity 1 absorbs the result.
+func BufferedSend(ctx context.Context) int {
+	res := make(chan int, 1)
+	go func() {
+		res <- compute()
+	}()
+	select {
+	case v := <-res:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// ReceivedSend has an unconditional receiver in the spawning function.
+func ReceivedSend() int {
+	res := make(chan int)
+	go func() {
+		res <- compute()
+	}()
+	return <-res
+}
+
+// GuardedSend wraps the send itself in a select: the sender cannot park.
+func GuardedSend(done chan struct{}) {
+	res := make(chan int)
+	go func() {
+		select {
+		case res <- compute():
+		case <-done:
+		}
+	}()
+	<-done
+}
+
+// RunnerLeak builds a worker pool, uses it, and never closes it.
+func RunnerLeak() {
+	r := pool.NewRunner(2, 8) //lintwant pool.NewRunner result is never closed
+	r.Submit(func() {})
+}
+
+// RunnerClosed releases its workers: fine.
+func RunnerClosed() {
+	r := pool.NewRunner(2, 8)
+	defer r.Close()
+	r.Submit(func() {})
+}
+
+// RunnerHandoff escapes as an argument: the callee owns it.
+func RunnerHandoff() {
+	r := pool.NewRunner(2, 8)
+	adopt(r)
+}
+
+func adopt(r *pool.Runner) { r.Close() }
+
+// SamplerLeak starts a sampler and forgets it.
+func SamplerLeak() {
+	s := telemetry.NewSampler(5) //lintwant telemetry.NewSampler result is never stopped
+	s.Start()
+}
+
+// SamplerStopped is the accepted shape.
+func SamplerStopped() {
+	s := telemetry.NewSampler(5)
+	s.Start()
+	defer s.Stop()
+}

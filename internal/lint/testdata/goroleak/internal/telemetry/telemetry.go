@@ -1,0 +1,13 @@
+// Package telemetry is the fixture stand-in for the real sampler owner.
+package telemetry
+
+// Sampler owns a polling goroutine until Stop.
+type Sampler struct{ stop chan struct{} }
+
+func NewSampler(interval int) *Sampler {
+	return &Sampler{stop: make(chan struct{}, 1)}
+}
+
+func (s *Sampler) Start() {}
+
+func (s *Sampler) Stop() {}

@@ -1,0 +1,197 @@
+// Package a exercises lockorder: cyclic acquisition orders (direct,
+// through package vars, and interprocedural self-deadlocks), locks held
+// across blocking operations, sanctioned sites, and the clean shapes the
+// analyzer must not flag.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// S carries the two-lock cycle: AB and BA nest in opposite orders, so the
+// analyzer flags both evidence sites of the cycle.
+type S struct {
+	mu  sync.Mutex
+	mu2 sync.Mutex
+}
+
+func (s *S) AB() {
+	s.mu.Lock()
+	s.mu2.Lock() //lintwant lock ordering cycle: acquiring a.(S).mu2 while holding a.(S).mu
+	s.mu2.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *S) BA() {
+	s.mu2.Lock()
+	s.mu.Lock() //lintwant lock ordering cycle: acquiring a.(S).mu while holding a.(S).mu2
+	s.mu.Unlock()
+	s.mu2.Unlock()
+}
+
+// G cycles a receiver-field lock against a package-level one.
+var gmu sync.Mutex
+
+type G struct{ mu sync.Mutex }
+
+func (g *G) First() {
+	gmu.Lock()
+	g.mu.Lock() //lintwant lock ordering cycle: acquiring a.(G).mu while holding a.gmu
+	g.mu.Unlock()
+	gmu.Unlock()
+}
+
+func (g *G) Second() {
+	g.mu.Lock()
+	gmu.Lock() //lintwant lock ordering cycle: acquiring a.gmu while holding a.(G).mu
+	gmu.Unlock()
+	g.mu.Unlock()
+}
+
+// R exercises the one-node cycle: sync mutexes are not reentrant.
+type R struct{ mu sync.Mutex }
+
+func (r *R) Reenter() {
+	r.mu.Lock()
+	r.mu.Lock() //lintwant acquiring a.(R).mu while it is already held
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Outer self-deadlocks one call away: relock acquires the lock Outer holds.
+func (r *R) Outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.relock() //lintwant call to a.(*R).relock acquires a.(R).mu while it is already held
+}
+
+func (r *R) relock() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// B exercises the held-across-blocking findings.
+type B struct{ mu sync.Mutex }
+
+func (b *B) Send(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch <- 1 //lintwant channel send while holding a.(B).mu
+}
+
+func (b *B) Recv(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-ch //lintwant channel receive while holding a.(B).mu
+}
+
+func (b *B) Sleep() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) //lintwant call to time.Sleep (sleep) while holding a.(B).mu
+	b.mu.Unlock()
+}
+
+func (b *B) Write(w io.Writer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fmt.Fprintf(w, "x") //lintwant call to fmt.Fprintf (writer I/O) while holding a.(B).mu
+}
+
+func (b *B) Park(done, stop chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { //lintwant select without default while holding a.(B).mu
+	case <-done:
+	case <-stop:
+	}
+}
+
+// Indirect blocks one call away: the may-block summary carries the reason.
+func (b *B) waitInner(ch chan int) {
+	<-ch
+}
+
+func (b *B) Indirect(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.waitInner(ch) //lintwant call to a.(*B).waitInner may block (channel receive) while holding a.(B).mu
+}
+
+// Sanctioned is the audited escape hatch: the directive consumes the
+// finding and must itself be consumed (an unused one is flagged below).
+func (b *B) Sanctioned(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//scglint:lockheld fixture: the harness guarantees a receiver; the serialized handoff is the point
+	ch <- 1
+}
+
+func (b *B) UnusedDirective() {
+	b.mu.Lock() //scglint:lockheld fixture: nothing blocks here //lintwant unused //scglint:lockheld directive
+	b.mu.Unlock()
+}
+
+// RW exercises the read-lock variants.
+type RW struct{ mu sync.RWMutex }
+
+func (r *RW) ReadBlock(ch chan int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	<-ch //lintwant channel receive while holding a.(RW).mu
+}
+
+// --- Clean shapes: nothing below may produce a finding. ---
+
+// O nests its locks in one order everywhere: an acyclic graph is fine.
+type O struct{ a, b sync.Mutex }
+
+func (o *O) Ordered() {
+	o.a.Lock()
+	o.b.Lock()
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+// Unlocked releases before the blocking operation — the fix the analyzer
+// asks for.
+func (b *B) Unlocked(ch chan int) {
+	b.mu.Lock()
+	v := 1
+	b.mu.Unlock()
+	ch <- v
+}
+
+// TrySend never parks: the select has a default.
+func (b *B) TrySend(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// Spawn's literal runs on its own goroutine: the creator's held set does
+// not apply inside it.
+func (b *B) Spawn(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// Guarded's early-return branch neither leaks held state into the
+// fall-through path nor suppresses the release before the send.
+func (b *B) Guarded(ch chan int, ok bool) {
+	b.mu.Lock()
+	if !ok {
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	ch <- 1
+}

@@ -1,0 +1,3 @@
+module fixlock
+
+go 1.22

@@ -115,6 +115,7 @@ func (j *Jobs) Submit(key Key, reqID string) (Job, error) {
 	// Admit before publishing: runner.Submit never blocks (bounded queue,
 	// non-blocking send), so holding j.mu here keeps a rejected job from
 	// ever being observable by Get or a coalescing Submit.
+	//scglint:lockheld runner.Submit is a non-blocking bounded-queue admit; atomicity under j.mu is what keeps rejected jobs unobservable
 	if !j.runner.Submit(func() { j.run(id) }) {
 		delete(j.byID, id)
 		j.stats.Rejected++
