@@ -56,6 +56,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/perm"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/topology"
 	"repro/internal/version"
 )
@@ -164,6 +165,11 @@ func main() {
 		rep.Entries = append(rep.Entries, bfsSuite(k, *rounds, *workers)...)
 	}
 	rep.Entries = append(rep.Entries, stretchEntry(stretchPairs))
+	storeIters := 200
+	if *quick {
+		storeIters = 50
+	}
+	rep.Entries = append(rep.Entries, storeDecodeEntry(storeIters))
 	routeIters := 4000
 	if *quick {
 		routeIters = 1000
@@ -187,12 +193,12 @@ func main() {
 // benchmarks exercise: the rank and compose kernels (rankKernels and every
 // BFS edge), the serial engine's expansion loop and the bitset engine's
 // expand/merge loops (bfsSuite), the precomposed-table build kernel
-// (neighbor-table entries), and the warm-route distance overlay (route/hot
-// and the telemetry guard's /v1/route traffic). perm.Rank is the
-// deliberately unannotated O(k²) reference, so it is absent. If an
-// annotation is added or removed, this list and the benchmark that drives
-// the kernel must move together — the -hotpath-report cross-check fails CI
-// otherwise.
+// (neighbor-table entries), the store decode kernel (store/decode), and the
+// warm-route distance overlay (route/hot and the telemetry guard's
+// /v1/route traffic). perm.Rank is the deliberately unannotated O(k²)
+// reference, so it is absent. If an annotation is added or removed, this
+// list and the benchmark that drives the kernel must move together — the
+// -hotpath-report cross-check fails CI otherwise.
 var benchedHotpaths = []string{
 	"repro/internal/core.(*NeighborTable).fillChunk",
 	"repro/internal/core.(*bitsetBFS).expandWords",
@@ -203,6 +209,7 @@ var benchedHotpaths = []string{
 	"repro/internal/perm.(Perm).RankInto",
 	"repro/internal/perm.UnrankInto",
 	"repro/internal/server.routeDistance",
+	"repro/internal/store.decodeU32LE",
 }
 
 // crossCheckHotpaths compares the annotated kernel set from a
@@ -477,6 +484,44 @@ func stretchEntry(pairs int) Entry {
 		Rounds:  pairs,
 		NsPerOp: nsPerOp(elapsed, pairs),
 		Detail:  fmt.Sprintf("%d pairs, mean stretch %.3f, %d optimal", st.Pairs, st.MeanStretch, st.Optimal),
+	}
+}
+
+// storeDecodeEntry times store.DecodeEntry on a star(8) entry that carries
+// the precomposed neighbor table — the sequential-read half of a warm
+// start. The neighbor section dominates the file (k!·deg little-endian
+// words), so this benchmark is what drives the decodeU32LE hotpath kernel.
+func storeDecodeEntry(iters int) Entry {
+	nw, err := topology.NewStar(8)
+	fail(err)
+	g := nw.Graph()
+	prof, err := g.ExactProfile()
+	fail(err)
+	tbl, err := g.EnsureNeighborTable(0)
+	fail(err)
+	buf, err := store.AppendEntry(nil, &store.Entry{
+		Family: "star", L: 1, N: 7, K: 8, Profile: prof, Neighbors: tbl,
+	})
+	fail(err)
+	g.DropNeighborTable()
+
+	ecc := -1
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		dec, err := store.DecodeEntry(buf)
+		fail(err)
+		ecc = dec.Profile.Eccentricity
+	}
+	elapsed := time.Since(t0)
+	if ecc != prof.Eccentricity {
+		fail(fmt.Errorf("benchreport: store decode diameter %d != built %d", ecc, prof.Eccentricity))
+	}
+	return Entry{
+		Name:    "store/decode-star-8",
+		K:       8,
+		Rounds:  iters,
+		NsPerOp: nsPerOp(elapsed, iters),
+		Detail:  fmt.Sprintf("%d-byte scgstore/v1 entry with neighbor table, diameter %d", len(buf), ecc),
 	}
 }
 

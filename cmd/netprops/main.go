@@ -121,28 +121,17 @@ func main() {
 	}
 }
 
-// sweepInstances enumerates every constructible instance of fam with
-// k <= maxK in deterministic (k, l) order: all (l, n) splits for super
-// Cayley families, all dimensions for nucleus-only ones.
+// sweepInstances materializes every constructible instance of fam with
+// k <= maxK, in the deterministic (k, l) order topology.EnumerateInstances
+// defines (shared with scgctl warm, so both tools sweep the same sets).
 func sweepInstances(fam topology.Family, maxK int) ([]*topology.Network, error) {
-	var nws []*topology.Network
-	if fam.IsSuperCayley() {
-		for k := 3; k <= maxK; k++ {
-			for l := 2; l <= k-1; l++ {
-				if (k-1)%l != 0 {
-					continue
-				}
-				nw, err := topology.New(fam, l, (k-1)/l)
-				if err != nil {
-					return nil, err
-				}
-				nws = append(nws, nw)
-			}
-		}
-		return nws, nil
+	ins, err := topology.EnumerateInstances(fam, maxK)
+	if err != nil {
+		return nil, err
 	}
-	for k := 3; k <= maxK; k++ {
-		nw, err := topology.New(fam, 1, k-1)
+	nws := make([]*topology.Network, 0, len(ins))
+	for _, in := range ins {
+		nw, err := topology.New(in.Family, in.L, in.N)
 		if err != nil {
 			return nil, err
 		}

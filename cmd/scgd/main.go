@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/version"
 )
 
@@ -67,6 +68,7 @@ func main() {
 		noTracing    = flag.Bool("no-tracing", false, "disable request span timelines and the slow log")
 		sampleEvery  = flag.Duration("metrics-sample", 10*time.Second, "runtime/metrics sampling interval (negative = off)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		storeDir     = flag.String("store", "", "persistent profile-store directory (empty = off); profiles load from here before BFS and write back after")
 		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -88,11 +90,19 @@ func main() {
 	}
 	cfg.AccessLog = openLog(*accessLog)
 	cfg.SlowLog = openLog(*slowLog)
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		fail(err)
+		cfg.Store = st
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	fail(err)
 	fmt.Printf("scgd listening on %s (cache %d MiB, %d in-flight per endpoint)\n",
 		ln.Addr(), *cacheMB, *maxInflight)
+	if cfg.Store != nil {
+		fmt.Printf("scgd profile store at %s\n", cfg.Store.Dir())
+	}
 
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/topology"
+)
+
+// StoreBenchReport is the committed BENCH_store.json document: the
+// cold-build vs store-load comparison that justifies the persistent
+// profile store. Each instance is measured twice through the serving
+// cache — once against an empty store (BFS + write-back) and once on a
+// fresh server against the now-populated store (restart-equivalent) —
+// so the two numbers are the real "first request after deploy" and
+// "first request after restart" costs.
+type StoreBenchReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Instances []StoreBenchInstance `json:"instances"`
+}
+
+// StoreBenchInstance is one (family, l, n) measurement.
+type StoreBenchInstance struct {
+	Network string `json:"network"`
+	Family  string `json:"family"`
+	L       int    `json:"l"`
+	N       int    `json:"n"`
+	K       int    `json:"k"`
+	Nodes   int64  `json:"nodes"`
+	// ColdBuildMicros is the first-ever profile request: full BFS plus the
+	// store write-back.
+	ColdBuildMicros float64 `json:"cold_build_us"`
+	// StoreLoadMicros is the same request on a fresh server against the
+	// populated store: one sequential read, decode, and validate.
+	StoreLoadMicros float64 `json:"store_load_us"`
+	// Speedup is ColdBuildMicros / StoreLoadMicros.
+	Speedup float64 `json:"speedup"`
+	// FileBytes is the size of the persisted scgstore/v1 entry.
+	FileBytes int64 `json:"file_bytes"`
+	Diameter  int   `json:"diameter"`
+}
+
+// runStoreBench measures every instance of the sweep spec and writes the
+// scg-storebench/v1 report to out ("-" = stdout). ctx is main's root: the
+// builds are not deadline-bounded, but honor an interrupt.
+func runStoreBench(ctx context.Context, sweep, out string) error {
+	ins, err := topology.ParseSweepSpecs(sweep)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "scgload-storebench-*")
+	if err != nil {
+		return err
+	}
+	// Best-effort scratch cleanup; a leftover temp dir is harmless.
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	rep := &StoreBenchReport{
+		Schema:     "scg-storebench/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, in := range ins {
+		m, err := benchInstance(ctx, dir, in)
+		if err != nil {
+			return fmt.Errorf("storebench %v: %w", in, err)
+		}
+		rep.Instances = append(rep.Instances, *m)
+		fmt.Fprintf(os.Stderr, "storebench %-20s cold %10.0f us  warm %8.0f us  %7.1fx  %d bytes\n",
+			m.Network, m.ColdBuildMicros, m.StoreLoadMicros, m.Speedup, m.FileBytes)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+// benchInstance measures one instance: cold build through a server with an
+// empty store slot, then a store load through a brand-new server (the
+// restart) against the entry the cold pass persisted.
+func benchInstance(ctx context.Context, dir string, in topology.Instance) (*StoreBenchInstance, error) {
+	key := server.Key{Family: in.Family, L: in.L, N: in.N}
+
+	// Cold pass: its own server; profile misses the store, runs the BFS,
+	// writes back.
+	coldStore, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	cold := server.New(server.Config{Store: coldStore, SampleInterval: -1})
+	t0 := time.Now()
+	prof, err := cold.Cache().Profile(ctx, key)
+	coldElapsed := time.Since(t0)
+	cold.Close()
+	if err != nil {
+		return nil, err
+	}
+	sk := store.Key{Family: in.Family.String(), L: in.L, N: in.N}
+	fi, err := os.Stat(coldStore.EntryPath(sk))
+	if err != nil {
+		return nil, fmt.Errorf("cold pass persisted nothing: %w", err)
+	}
+
+	// Warm pass: a fresh server and store handle over the same directory —
+	// exactly what a daemon restart sees.
+	warmStore, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	warm := server.New(server.Config{Store: warmStore, SampleInterval: -1})
+	t1 := time.Now()
+	wprof, err := warm.Cache().Profile(ctx, key)
+	warmElapsed := time.Since(t1)
+	warm.Close()
+	if err != nil {
+		return nil, err
+	}
+	if warmStore.Stats().Hits.Load() == 0 {
+		return nil, fmt.Errorf("warm pass did not hit the store")
+	}
+	if wprof.Eccentricity != prof.Eccentricity || wprof.Mean != prof.Mean {
+		return nil, fmt.Errorf("store round-trip changed the profile: diameter %d->%d mean %g->%g",
+			prof.Eccentricity, wprof.Eccentricity, prof.Mean, wprof.Mean)
+	}
+
+	nw, err := topology.New(in.Family, in.L, in.N)
+	if err != nil {
+		return nil, err
+	}
+	m := &StoreBenchInstance{
+		Network: nw.Name(), Family: in.Family.String(), L: in.L, N: in.N,
+		K: in.K(), Nodes: nw.Nodes(),
+		ColdBuildMicros: float64(coldElapsed.Microseconds()),
+		StoreLoadMicros: float64(warmElapsed.Microseconds()),
+		FileBytes:       fi.Size(),
+		Diameter:        prof.Eccentricity,
+	}
+	if m.StoreLoadMicros > 0 {
+		m.Speedup = m.ColdBuildMicros / m.StoreLoadMicros
+	}
+	return m, nil
+}

@@ -55,6 +55,27 @@ func (t DistTable) Bytes() int64 {
 	return int64(len(t.d32)) * 4
 }
 
+// RawCompact returns the 1-byte backing array (entries store distance+1,
+// 0 meaning unreachable) and whether the table is compact. The slice
+// aliases the table; callers must not mutate it. It exists for
+// internal/store, which persists the backing verbatim.
+func (t DistTable) RawCompact() ([]uint8, bool) { return t.d8, t.d8 != nil }
+
+// RawWide returns the int32 backing (true distances, -1 unreachable) and
+// whether the table uses it. The slice aliases the table; callers must not
+// mutate it.
+func (t DistTable) RawWide() ([]int32, bool) { return t.d32, t.d32 != nil }
+
+// NewDistTableCompact wraps a stored+1 byte backing (the RawCompact
+// encoding) loaded from the persistent store. The caller transfers
+// ownership of raw.
+func NewDistTableCompact(raw []uint8) DistTable { return DistTable{d8: raw} }
+
+// NewDistTableWide wraps an int32 distance slice (true distances, -1
+// unreachable) loaded from the persistent store. The caller transfers
+// ownership of d.
+func NewDistTableWide(d []int32) DistTable { return DistTable{d32: d} }
+
 // Int32Slice materializes the table as a plain []int32 with -1 for
 // unreachable states. Compact tables are widened into a fresh slice;
 // wide tables return their backing directly (callers must not mutate it).

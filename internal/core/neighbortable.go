@@ -38,6 +38,28 @@ func (t *NeighborTable) Len() int64 { return t.n }
 // Bytes returns the heap footprint of the table backing.
 func (t *NeighborTable) Bytes() int64 { return int64(len(t.nbr)) * 4 }
 
+// Raw returns the flat row-major backing (nbr[r*deg+j] = rank of neighbor
+// j of state r). The slice aliases the table; callers must not mutate it.
+// It exists for internal/store, which persists the backing verbatim.
+func (t *NeighborTable) Raw() []uint32 { return t.nbr }
+
+// NewNeighborTableRaw reconstructs a table from its raw backing, as loaded
+// from the persistent store. The caller transfers ownership of nbr, whose
+// length must equal k!·deg.
+func NewNeighborTableRaw(k, deg int, nbr []uint32) (*NeighborTable, error) {
+	if k < 1 || k > MaxExplicitK {
+		return nil, fmt.Errorf("core: NewNeighborTableRaw: k=%d out of range [1, %d]", k, MaxExplicitK)
+	}
+	if deg < 1 {
+		return nil, fmt.Errorf("core: NewNeighborTableRaw: degree %d < 1", deg)
+	}
+	n := perm.Factorial(k)
+	if int64(len(nbr)) != n*int64(deg) {
+		return nil, fmt.Errorf("core: NewNeighborTableRaw: %d entries, want %d (k=%d deg=%d)", len(nbr), n*int64(deg), k, deg)
+	}
+	return &NeighborTable{k: k, deg: deg, n: n, nbr: nbr}, nil
+}
+
 // Row returns the neighbor ranks of state r in generator order. The slice
 // aliases the table; callers must not mutate it.
 func (t *NeighborTable) Row(r int64) []uint32 {

@@ -34,8 +34,10 @@ var analyzerBoundedSpawn = &Analyzer{
 // boundedSpawnPackages are the import-path suffixes the analyzer covers.
 // internal/fault and cmd/scgload joined the audited set once their fan-out
 // moved onto pool primitives: load generators are exactly where an unbounded
-// spawn turns a measurement into a self-inflicted overload.
-var boundedSpawnPackages = []string{"internal/core", "internal/sim", "internal/figures", "internal/server", "internal/telemetry", "internal/fault", "cmd/scgload"}
+// spawn turns a measurement into a self-inflicted overload. internal/store
+// is audited from birth — the persistent store sits on the serving path and
+// must stay spawn-free (all its concurrency is the caller's).
+var boundedSpawnPackages = []string{"internal/core", "internal/sim", "internal/figures", "internal/server", "internal/telemetry", "internal/fault", "internal/store", "cmd/scgload"}
 
 func runBoundedSpawn(p *Package, report Reporter) {
 	if !pathHasSuffix(p.Path, boundedSpawnPackages...) {

@@ -44,7 +44,7 @@ var hotStdAllowlist = map[string]bool{
 // ctxScopedPkgs are the path suffixes where a fresh context root
 // (context.Background / context.TODO) outside main or init is a finding;
 // dropped-context findings apply module-wide.
-var ctxScopedPkgs = []string{"internal/server", "internal/telemetry", "cmd/scgd", "cmd/scgload"}
+var ctxScopedPkgs = []string{"internal/server", "internal/telemetry", "internal/store", "cmd/scgd", "cmd/scgload"}
 
 // sitePos is a module-relative source position. Facts are cached across
 // processes, so positions must survive token.FileSet reconstruction:

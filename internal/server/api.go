@@ -1,6 +1,9 @@
 package server
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/store"
+)
 
 // This file defines the JSON wire types of the scgd v1 API, shared by the
 // handlers, the scgload client, and the tests. Every response is a JSON
@@ -149,6 +152,9 @@ type StatsResponse struct {
 	Endpoints    map[string]EndpointStats `json:"endpoints"`
 	Cache        CacheStats               `json:"cache"`
 	Jobs         JobsStats                `json:"jobs"`
+	// Store is the persistent profile-store slice, present only when scgd
+	// runs with -store.
+	Store *store.StatsSnapshot `json:"store,omitempty"`
 }
 
 // HealthResponse is the /healthz document.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -28,6 +29,13 @@ func (k Key) K() int {
 		return k.N*k.L + 1
 	}
 	return k.N + 1
+}
+
+// storeKey maps the cache key to its persistent-store address. The request
+// decoder has already canonicalized L for nucleus-only families, so the
+// mapping is direct.
+func (k Key) storeKey() store.Key {
+	return store.Key{Family: k.Family.String(), L: k.L, N: k.N}
 }
 
 // cacheKind separates the two value classes sharing the LRU: materialized
@@ -82,6 +90,11 @@ type CacheStats struct {
 // the caller's goroutine — the cache spawns nothing.
 type Cache struct {
 	budget int64
+	// store, when non-nil, is the persistent content-addressed profile
+	// store: profile builds consult it before running BFS and write back
+	// after. The cache ignores store failures beyond their counters —
+	// persistence is an accelerator, never a correctness dependency.
+	store *store.Store
 
 	mu      sync.Mutex
 	entries map[cacheKey]*entry
@@ -112,6 +125,12 @@ func NewCache(budgetBytes int64) *Cache {
 	return c
 }
 
+// SetStore attaches the persistent profile store. Call before serving.
+func (c *Cache) SetStore(st *store.Store) { c.store = st }
+
+// Store returns the attached persistent store, or nil.
+func (c *Cache) Store() *store.Store { return c.store }
+
 // Network returns the materialized network for key, building it at most
 // once no matter how many requests race on a cold key.
 func (c *Cache) Network(ctx context.Context, key Key) (*topology.Network, error) {
@@ -120,6 +139,21 @@ func (c *Cache) Network(ctx context.Context, key Key) (*topology.Network, error)
 	// "cache" span.
 	tr := telemetry.TraceFrom(ctx)
 	v, err := c.getOrBuild(ctx, cacheKey{kindNetwork, key}, func() (any, int64, error) {
+		// A cold network is the restart signature, so this is where the
+		// persistent store pays off: one sequential read hands back the
+		// whole exact profile, which is side-inserted so the very first
+		// request observes exact distances without any BFS — the trace
+		// shows a store-load phase and no build phase.
+		if c.store != nil && !c.hasProfile(key) {
+			tr.Phase("store-load")
+			if e, err := c.store.Load(key.storeKey()); err == nil && e.K == key.K() {
+				nw, nerr := topology.New(key.Family, key.L, key.N)
+				if nerr == nil {
+					c.insertProfile(key, e.Profile)
+					return nw, networkBytes(nw), nil
+				}
+			}
+		}
 		tr.Phase("build-topology")
 		nw, err := topology.New(key.Family, key.L, key.N)
 		if err != nil {
@@ -144,6 +178,15 @@ func (c *Cache) Profile(ctx context.Context, key Key) (*core.BFSResult, error) {
 	}
 	tr := telemetry.TraceFrom(ctx)
 	v, err := c.getOrBuild(ctx, cacheKey{kindProfile, key}, func() (any, int64, error) {
+		// Reaching this closure means the profile is cold in memory; the
+		// persistent store may still have it (e.g. the LRU evicted it, or
+		// the network was already warm when the daemon restarted).
+		if c.store != nil {
+			tr.Phase("store-load")
+			if e, err := c.store.Load(key.storeKey()); err == nil && e.K == key.K() {
+				return e.Profile, profileBytes(e.Profile), nil
+			}
+		}
 		tr.Phase("build-profile")
 		res, err := nw.Graph().ExactProfile()
 		// Large instances run through the table-driven bitset engines,
@@ -153,6 +196,16 @@ func (c *Cache) Profile(ctx context.Context, key Key) (*core.BFSResult, error) {
 		nw.Graph().DropNeighborTable()
 		if err != nil {
 			return nil, 0, err
+		}
+		if c.store != nil {
+			// Write-back so the next process skips this BFS entirely. A
+			// failed write only bumps the store's error counter: the
+			// profile is already in hand.
+			tr.Phase("store-write")
+			sk := key.storeKey()
+			_ = c.store.Put(sk, &store.Entry{
+				Family: sk.Family, L: sk.L, N: sk.N, K: key.K(), Profile: res,
+			})
 		}
 		return res, profileBytes(res), nil
 	})
@@ -191,6 +244,26 @@ func (c *Cache) CachedProfile(key Key) (*core.BFSResult, bool) {
 	c.touch(e)
 	c.stats.Hits++
 	return e.val.(*core.BFSResult), true
+}
+
+// hasProfile reports whether the exact profile for key is resident,
+// without touching LRU order or the hit counter.
+func (c *Cache) hasProfile(key Key) bool {
+	c.mu.Lock()
+	_, ok := c.entries[cacheKey{kindProfile, key}]
+	c.mu.Unlock()
+	return ok
+}
+
+// insertProfile side-inserts a store-loaded profile. It runs from inside
+// the network build closure, which getOrBuild executes without c.mu held,
+// so taking the lock here is safe. If a concurrent profile flight is in
+// progress its completion will simply overwrite this entry with an
+// identical value.
+func (c *Cache) insertProfile(key Key, res *core.BFSResult) {
+	c.mu.Lock()
+	c.insert(cacheKey{kindProfile, key}, res, profileBytes(res))
+	c.mu.Unlock()
 }
 
 // Stats returns a snapshot of the cache counters.

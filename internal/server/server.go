@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/pool"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -79,6 +80,11 @@ type Config struct {
 	// SampleInterval is the runtime/metrics sampler period (default 10s;
 	// negative disables the sampler).
 	SampleInterval time.Duration
+	// Store, when non-nil, is the persistent content-addressed profile
+	// store (scgd -store=DIR): profile builds consult it before running
+	// BFS and write back after, so a restarted daemon — or a replica
+	// shipped a pre-baked directory — warm-starts instead of recomputing.
+	Store *store.Store
 }
 
 // maxRepresentableK is the largest k with k! representable in int64.
@@ -174,6 +180,9 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 		eps:    make(map[string]*endpoint),
 	}
+	if cfg.Store != nil {
+		s.cache.SetStore(cfg.Store)
+	}
 	s.jobs = NewJobs(s.cache, pool.NewRunner(cfg.ProfileWorkers, cfg.ProfileQueue))
 	if !cfg.DisableTracing {
 		s.jobs.slow = s.logSlowJob
@@ -245,6 +254,26 @@ func (s *Server) registerTelemetry() {
 		func() float64 { return float64(s.jobs.Stats().Queued) })
 	s.reg.GaugeFunc("scgd_jobs_running", "Jobs executing now.",
 		func() float64 { return float64(s.jobs.Stats().Running) })
+
+	// Persistent-store traffic, present only when -store is configured (so
+	// a storeless deployment's exposition is unchanged).
+	if st := s.cfg.Store; st != nil {
+		sc := st.Stats()
+		s.reg.CounterFunc("scgd_store_hits_total", "Store entries loaded and validated.",
+			func() int64 { return sc.Hits.Load() })
+		s.reg.CounterFunc("scgd_store_misses_total", "Store probes with no usable entry.",
+			func() int64 { return sc.Misses.Load() })
+		s.reg.CounterFunc("scgd_store_writes_total", "Entries written back after a build.",
+			func() int64 { return sc.Writes.Load() })
+		s.reg.CounterFunc("scgd_store_write_errors_total", "Failed write-backs.",
+			func() int64 { return sc.WriteErrors.Load() })
+		s.reg.CounterFunc("scgd_store_corrupt_total", "Entries quarantined as corrupt or stale-schema.",
+			func() int64 { return sc.Corrupt.Load() })
+		s.reg.CounterFunc("scgd_store_bytes_read_total", "Bytes of validated entries loaded.",
+			func() int64 { return sc.BytesRead.Load() })
+		s.reg.CounterFunc("scgd_store_bytes_written_total", "Bytes written back.",
+			func() int64 { return sc.BytesWritten.Load() })
+	}
 }
 
 // Handler returns the root http.Handler.
@@ -281,7 +310,7 @@ func (s *Server) Stats() StatsResponse {
 	for _, name := range names {
 		eps[name] = s.eps[name].snapshot()
 	}
-	return StatsResponse{
+	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
@@ -290,6 +319,11 @@ func (s *Server) Stats() StatsResponse {
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.Stats(),
 	}
+	if st := s.cfg.Store; st != nil {
+		snap := st.Snapshot()
+		resp.Store = &snap
+	}
+	return resp
 }
 
 // route registers a handler with the shared middleware: request-ID

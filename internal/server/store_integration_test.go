@@ -1,0 +1,266 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// newStoreServer builds a server over a store directory, optionally
+// capturing the slow log (zero threshold = every request is traced).
+func newStoreServer(t *testing.T, dir string, slow *strings.Builder) *Server {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		CacheBytes:     64 << 20,
+		MaxInflight:    64,
+		ProfileWorkers: 1,
+		ProfileQueue:   4,
+		RequestTimeout: 30 * time.Second,
+		Store:          st,
+	}
+	if slow != nil {
+		cfg.SlowLog = slow
+	}
+	return New(cfg)
+}
+
+// buildProfileViaHTTP drives the full async profile flow (submit, poll to
+// done) for MS(2,2) and fails the test on any non-success.
+func buildProfileViaHTTP(t *testing.T, s *Server) {
+	t.Helper()
+	var resp ProfileResponse
+	code := do(t, s, http.MethodGet, "/v1/profile?family=MS&l=2&n=2", "", &resp)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("profile submit = %d", code)
+	}
+	if resp.Cached && resp.Status == string(JobDone) {
+		return
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var polled ProfileResponse
+		if code := do(t, s, http.MethodGet, "/v1/profile?id="+url.QueryEscape(resp.JobID), "", &polled); code != http.StatusOK {
+			t.Fatalf("profile poll = %d", code)
+		}
+		if polled.Status == string(JobDone) {
+			return
+		}
+		if polled.Status == string(JobFailed) {
+			t.Fatalf("profile job failed: %s", polled.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("profile job did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// storeSlowPhases returns the phase names of the first slow-log record for
+// the given endpoint.
+func storeSlowPhases(t *testing.T, slow *strings.Builder, endpoint string) []string {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimSpace(slow.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec SlowRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad slow-log line %q: %v", line, err)
+		}
+		if rec.Endpoint != endpoint {
+			continue
+		}
+		names := make([]string, 0, len(rec.Phases))
+		for _, p := range rec.Phases {
+			names = append(names, p.Name)
+		}
+		return names
+	}
+	t.Fatalf("no slow-log record for %s in %q", endpoint, slow.String())
+	return nil
+}
+
+// TestWarmStartServesWithoutBFS is the acceptance pin for the persistent
+// store: build a profile through one server, then restart (a brand-new
+// server over the same directory) and require the very first /v1/route to
+// carry the exact distance with a store-load phase and no build phase in
+// its trace — the BFS never ran.
+func TestWarmStartServesWithoutBFS(t *testing.T) {
+	dir := t.TempDir()
+
+	first := newStoreServer(t, dir, nil)
+	buildProfileViaHTTP(t, first)
+	first.Close()
+	if w := first.cache.Store().Stats().Writes.Load(); w == 0 {
+		t.Fatal("first server persisted nothing")
+	}
+
+	var slow strings.Builder
+	second := newStoreServer(t, dir, &slow)
+	defer second.Close()
+
+	var route RouteResponse
+	if code := do(t, second, http.MethodGet, "/v1/route?family=MS&l=2&n=2&src=21435&dst=53412", "", &route); code != http.StatusOK {
+		t.Fatalf("warm route = %d", code)
+	}
+	if route.ExactDistance == nil {
+		t.Fatal("first request after restart has no exact distance: store was not consulted")
+	}
+
+	phases := storeSlowPhases(t, &slow, "/v1/route")
+	var sawLoad bool
+	for _, name := range phases {
+		switch name {
+		case "store-load":
+			sawLoad = true
+		case "build-topology", "build-profile":
+			t.Fatalf("warm-start trace ran %s (phases %v)", name, phases)
+		}
+	}
+	if !sawLoad {
+		t.Fatalf("no store-load phase in warm-start trace (phases %v)", phases)
+	}
+
+	snap := second.cache.Store().Snapshot()
+	if snap.Hits == 0 || snap.Misses != 0 || snap.Corrupt != 0 {
+		t.Fatalf("warm-start counters %+v", snap)
+	}
+}
+
+// TestStoreWritePhaseOnColdBuild pins the other half of the trace
+// contract: a cold profile build against an empty store shows build-profile
+// followed by store-write.
+func TestStoreWritePhaseOnColdBuild(t *testing.T) {
+	var slow strings.Builder
+	s := newStoreServer(t, t.TempDir(), &slow)
+	defer s.Close()
+	buildProfileViaHTTP(t, s)
+
+	phases := storeSlowPhases(t, &slow, "job:/v1/profile")
+	var sawBuild, sawWrite bool
+	for _, name := range phases {
+		switch name {
+		case "build-profile":
+			sawBuild = true
+		case "store-write":
+			sawWrite = true
+		}
+	}
+	if !sawBuild || !sawWrite {
+		t.Fatalf("cold build phases %v: want build-profile and store-write", phases)
+	}
+	if w := s.cache.Store().Stats().Writes.Load(); w == 0 {
+		t.Fatal("cold build wrote nothing")
+	}
+}
+
+// TestCorruptStoreRebuildsOverHTTP damages the persisted entry in each
+// acceptance shape and restarts: the daemon must quarantine, rebuild via
+// BFS, rewrite the entry, and keep serving — corruption is never fatal.
+func TestCorruptStoreRebuildsOverHTTP(t *testing.T) {
+	shapes := []struct {
+		name   string
+		mutate func(data []byte) []byte
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"flipped-byte", func(d []byte) []byte { d[len(d)/2] ^= 0x40; return d }},
+		{"wrong-magic", func(d []byte) []byte { copy(d, "notstore"); return d }},
+		{"future-schema-rev", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[8:], store.SchemaRev+9)
+			return d
+		}},
+		{"partial-write", func(d []byte) []byte { return d[:13] }},
+	}
+	for _, tc := range shapes {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			first := newStoreServer(t, dir, nil)
+			buildProfileViaHTTP(t, first)
+			first.Close()
+
+			sk := store.Key{Family: "MS", L: 2, N: 2}
+			path := first.cache.Store().EntryPath(sk)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			second := newStoreServer(t, dir, nil)
+			defer second.Close()
+			buildProfileViaHTTP(t, second)
+
+			var route RouteResponse
+			if code := do(t, second, http.MethodGet, "/v1/route?family=MS&l=2&n=2&src=21435&dst=53412", "", &route); code != http.StatusOK {
+				t.Fatalf("route after rebuild = %d", code)
+			}
+			if route.ExactDistance == nil {
+				t.Fatal("rebuilt profile not serving exact distances")
+			}
+
+			var stats StatsResponse
+			if code := do(t, second, http.MethodGet, "/statsz", "", &stats); code != http.StatusOK {
+				t.Fatalf("/statsz = %d", code)
+			}
+			if stats.Store == nil {
+				t.Fatal("/statsz has no store block despite -store")
+			}
+			if stats.Store.Corrupt != 1 {
+				t.Fatalf("store corrupt counter = %d, want 1", stats.Store.Corrupt)
+			}
+			if stats.Store.Writes == 0 {
+				t.Fatal("rebuild did not write the entry back")
+			}
+			// The damaged file was quarantined and the slot rebuilt.
+			if _, err := os.Stat(path + ".quarantined"); err != nil {
+				t.Fatalf("no quarantined file: %v", err)
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("slot not rebuilt on disk: %v", err)
+			}
+		})
+	}
+}
+
+// TestMetricszExportsStoreCounters checks the store counters ride the
+// Prometheus surface when (and only when) a store is configured.
+func TestMetricszExportsStoreCounters(t *testing.T) {
+	dir := t.TempDir()
+	s := newStoreServer(t, dir, nil)
+	defer s.Close()
+	buildProfileViaHTTP(t, s)
+
+	body := strings.Join(scrapeMetricsz(t, s), "\n")
+	for _, name := range []string{
+		"scgd_store_hits_total", "scgd_store_misses_total", "scgd_store_writes_total",
+		"scgd_store_write_errors_total", "scgd_store_corrupt_total",
+		"scgd_store_bytes_read_total", "scgd_store_bytes_written_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("/metricsz missing %s", name)
+		}
+	}
+	if !strings.Contains(body, "scgd_store_writes_total 1") {
+		t.Fatalf("writes counter not incremented:\n%s", body)
+	}
+
+	// Without a store the counters must not appear at all.
+	bare := newTestServer()
+	defer bare.Close()
+	if strings.Contains(strings.Join(scrapeMetricsz(t, bare), "\n"), "scgd_store_") {
+		t.Fatal("store counters exported without a configured store")
+	}
+}

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// FuzzStoreDecode throws arbitrary bytes at the scgstore/v1 decoder. The
+// decoder fronts every file the daemon reads at startup, so it must never
+// panic or over-allocate on hostile input — any damage shape decodes to an
+// error. When a mutation does decode cleanly, the entry must re-encode and
+// decode to the same bytes (the format is canonical).
+func FuzzStoreDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(bytes.Repeat([]byte{0xFF}, headerLen+trailerLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendEntry(nil, e)
+		if err != nil {
+			t.Fatalf("decoded entry does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("re-encode is not canonical: %d vs %d bytes", len(enc), len(data))
+		}
+	})
+}
+
+// fuzzSeeds encodes a few real entries (with and without neighbor tables)
+// so the corpus starts from valid files rather than pure noise.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	seeds := make([][]byte, 0, 2)
+	for _, withNbr := range []bool{false, true} {
+		nw, err := topology.New(topology.Star, 1, 3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		prof, err := nw.Graph().ExactProfile()
+		if err != nil {
+			f.Fatal(err)
+		}
+		e := &Entry{Family: "star", L: 1, N: 3, K: nw.K(), Profile: prof}
+		if withNbr {
+			tbl, err := nw.Graph().EnsureNeighborTable(1)
+			if err != nil {
+				f.Fatal(err)
+			}
+			e.Neighbors = tbl
+		}
+		enc, err := AppendEntry(nil, e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, enc)
+	}
+	return seeds
+}
